@@ -1,0 +1,543 @@
+// Package apcm is a high-throughput matcher for Boolean expressions over
+// event streams: a Go implementation of adaptive parallel compressed
+// event matching (A-PCM) in the publish/subscribe style, together with
+// the baselines it is evaluated against.
+//
+// Subscriptions are conjunctions of predicates (=, ≠, <, ≤, >, ≥,
+// BETWEEN, IN, NOT IN) over discrete attributes; events assign values to
+// attributes. The Engine indexes millions of subscriptions and reports,
+// for each event, exactly the subscriptions it satisfies.
+//
+//	sch := expr.NewSchema()
+//	eng, _ := apcm.New(apcm.Options{})
+//	sub := expr.MustParse(sch, eng.NewID(), "price <= 500 and brand in {3, 7}")
+//	_ = eng.Subscribe(sub)
+//	matches := eng.Match(expr.MustParseEvent(sch, "price=300, brand=7"))
+//
+// Five algorithms share one interface: APCM (adaptive parallel
+// compressed matching, the default), PCM (always-compressed), BETree
+// (the sequential state-of-the-art index), Counting (classic inverted
+// counting index) and Scan (naive interpretation). See DESIGN.md for how
+// they relate and EXPERIMENTS.md for measured comparisons.
+package apcm
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/betree"
+	"github.com/streammatch/apcm/internal/core"
+	"github.com/streammatch/apcm/internal/counting"
+	"github.com/streammatch/apcm/internal/kindex"
+	"github.com/streammatch/apcm/internal/match"
+	"github.com/streammatch/apcm/internal/scan"
+	"github.com/streammatch/apcm/internal/sched"
+)
+
+// Algorithm selects the matching algorithm backing an Engine.
+type Algorithm int
+
+const (
+	// APCM is adaptive parallel compressed matching (the paper's
+	// contribution and the default).
+	APCM Algorithm = iota
+	// PCM always uses the compressed kernel.
+	PCM
+	// BETree is the sequential state-of-the-art baseline.
+	BETree
+	// Counting is the classic inverted counting index baseline.
+	Counting
+	// KIndex is the classic posting-list index baseline (Whang et al.,
+	// VLDB 2009): subscriptions partitioned by equality-predicate count,
+	// matched by sorted posting-list intersection.
+	KIndex
+	// Scan is the naive per-subscription interpretation baseline.
+	Scan
+)
+
+// String names the algorithm as used in benchmark tables.
+func (a Algorithm) String() string {
+	switch a {
+	case APCM:
+		return "A-PCM"
+	case PCM:
+		return "PCM"
+	case BETree:
+		return "BE-Tree"
+	case Counting:
+		return "Counting"
+	case KIndex:
+		return "k-index"
+	case Scan:
+		return "Scan"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists all supported algorithms in benchmark-table order.
+func Algorithms() []Algorithm {
+	return []Algorithm{Scan, Counting, KIndex, BETree, PCM, APCM}
+}
+
+// ParseAlgorithm resolves a name (case-insensitive, with or without
+// dashes: "apcm", "A-PCM", "betree", ...) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "-", "")) {
+	case "apcm", "adaptive":
+		return APCM, nil
+	case "pcm", "compressed":
+		return PCM, nil
+	case "betree", "be":
+		return BETree, nil
+	case "counting", "count":
+		return Counting, nil
+	case "kindex", "k":
+		return KIndex, nil
+	case "scan", "naive":
+		return Scan, nil
+	default:
+		return 0, fmt.Errorf("apcm: unknown algorithm %q", s)
+	}
+}
+
+// Options configures an Engine. The zero value selects A-PCM with
+// GOMAXPROCS workers and the default tuning.
+type Options struct {
+	// Algorithm selects the matcher; default APCM.
+	Algorithm Algorithm
+
+	// Workers sets the parallel worker count for APCM/PCM matching and
+	// MatchBatch. 0 means GOMAXPROCS; 1 runs fully sequentially.
+	Workers int
+
+	// ClusterSize bounds BE-Tree pools before they split (APCM, PCM and
+	// BETree). Compressed matching prefers larger clusters. 0 picks the
+	// per-algorithm default (256 compressed, 32 BETree).
+	ClusterSize int
+
+	// MinCompressSize is the smallest cluster the compressed matchers
+	// compile; smaller pools are scanned. 0 means default (8).
+	MinCompressSize int
+
+	// ProbeInterval is how many events a cluster serves between A-PCM
+	// cost probes. 0 means default (64).
+	ProbeInterval int
+
+	// IntraEventParallelism is the minimum number of candidate clusters
+	// at which a single Match call fans out across workers. 0 means
+	// default (16).
+	IntraEventParallelism int
+
+	// Normalize canonicalises subscriptions on Subscribe (merging
+	// redundant predicates per attribute; see expr.Expression.Normalize)
+	// and rejects provably unsatisfiable ones with ErrUnsatisfiable.
+	// Canonical subscriptions cluster and compress better.
+	Normalize bool
+}
+
+func (o *Options) sanitize() {
+	if o.ClusterSize < 0 {
+		o.ClusterSize = 0
+	}
+	if o.IntraEventParallelism <= 0 {
+		o.IntraEventParallelism = 16
+	}
+}
+
+// Engine indexes subscriptions and matches events against them. Engines
+// are safe for concurrent use: Subscribe/Unsubscribe take a write lock,
+// Match/MatchBatch a read lock.
+type Engine struct {
+	opts Options
+
+	mu     sync.RWMutex
+	closed bool
+
+	// Exactly one of cm (compressed algorithms) and sm (sequential
+	// baselines) is non-nil.
+	cm *core.Matcher
+	sm match.Matcher
+	// smMu serialises matches on stateful sequential matchers (Counting
+	// keeps per-event counters).
+	smMu       sync.Mutex
+	smStateful bool
+
+	pool      *sched.Pool
+	scratches sync.Pool // *core.Scratch
+
+	nextID atomic.Uint64
+	mem    match.MemReporter
+
+	// DNF subscription groups (see dnf.go): groups maps a group id to
+	// its member expression ids, alias maps each member back to its
+	// group. Both are nil until the first SubscribeAny.
+	groups map[expr.ID][]expr.ID
+	alias  map[expr.ID]expr.ID
+}
+
+// New builds an Engine.
+func New(opts Options) (*Engine, error) {
+	opts.sanitize()
+	e := &Engine{opts: opts}
+	switch opts.Algorithm {
+	case APCM, PCM:
+		cfg := core.DefaultConfig()
+		if opts.Algorithm == PCM {
+			cfg.Mode = core.ModeCompressed
+		}
+		if opts.ClusterSize > 0 {
+			cfg.Tree.MaxPool = opts.ClusterSize
+		}
+		if opts.MinCompressSize > 0 {
+			cfg.MinCompressSize = opts.MinCompressSize
+		}
+		if opts.ProbeInterval > 0 {
+			cfg.ProbeInterval = opts.ProbeInterval
+		}
+		e.cm = core.New(cfg)
+		e.mem = e.cm
+		e.scratches.New = func() any { return e.cm.NewScratch() }
+	case BETree:
+		cfg := betree.DefaultConfig()
+		if opts.ClusterSize > 0 {
+			cfg.MaxPool = opts.ClusterSize
+		}
+		t := betree.New(cfg)
+		e.sm, e.mem = t, t
+	case Counting:
+		m := counting.New()
+		e.sm, e.mem = m, m
+		e.smStateful = true
+	case KIndex:
+		m := kindex.New()
+		e.sm, e.mem = m, m
+		e.smStateful = true // per-match cursor scratch
+	case Scan:
+		m := scan.New()
+		e.sm, e.mem = m, m
+	default:
+		return nil, fmt.Errorf("apcm: unknown algorithm %v", opts.Algorithm)
+	}
+	if w := opts.Workers; w > 1 || (w <= 0 && runtime.GOMAXPROCS(0) > 1) {
+		e.pool = sched.NewPool(w)
+	}
+	return e, nil
+}
+
+// MustNew is New for tests and examples; it panics on invalid Options.
+func MustNew(opts Options) *Engine {
+	e, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ErrClosed is returned by operations on a closed Engine.
+var ErrClosed = fmt.Errorf("apcm: engine closed")
+
+// ErrUnsatisfiable is returned by Subscribe (with Options.Normalize set)
+// for subscriptions that can never match any event.
+var ErrUnsatisfiable = fmt.Errorf("apcm: subscription is unsatisfiable")
+
+// NewID allocates a fresh subscription id, unique within this Engine.
+func (e *Engine) NewID() expr.ID {
+	return expr.ID(e.nextID.Add(1))
+}
+
+// Subscribe indexes x. The expression's ID must be unique among live
+// subscriptions. With Options.Normalize, x is canonicalised first and
+// ErrUnsatisfiable is returned if it can never match.
+func (e *Engine) Subscribe(x *expr.Expression) error {
+	if e.opts.Normalize {
+		nx, ok := x.Normalize()
+		if !ok {
+			return ErrUnsatisfiable
+		}
+		x = nx
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.cm != nil {
+		return e.cm.Insert(x)
+	}
+	return e.sm.Insert(x)
+}
+
+// SubscribePreds builds an expression from preds under a fresh id and
+// indexes it, returning the id.
+func (e *Engine) SubscribePreds(preds ...expr.Predicate) (expr.ID, error) {
+	x, err := expr.New(e.NewID(), preds...)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.Subscribe(x); err != nil {
+		return 0, err
+	}
+	return x.ID, nil
+}
+
+// Unsubscribe removes the subscription with the given id — a plain
+// subscription or a whole DNF group — reporting whether it was present.
+func (e *Engine) Unsubscribe(id expr.ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	if wasGroup, ok := e.unsubscribeGroupLocked(id); wasGroup {
+		return ok
+	}
+	return e.deleteLocked(id)
+}
+
+// Len returns the number of live subscriptions. A DNF group counts as
+// one subscription regardless of its number of conjunctions.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0
+	}
+	n := 0
+	if e.cm != nil {
+		n = e.cm.Size()
+	} else {
+		n = e.sm.Size()
+	}
+	return n - (len(e.alias) - len(e.groups))
+}
+
+// Match returns the ids of all subscriptions matching ev (order
+// unspecified). On a closed engine it returns nil.
+func (e *Engine) Match(ev *expr.Event) []expr.ID {
+	return e.MatchAppend(nil, ev)
+}
+
+// MatchAppend appends the ids of all subscriptions matching ev to dst
+// and returns it. With live DNF groups, matched group ids are reported
+// once even when several disjuncts match.
+func (e *Engine) MatchAppend(dst []expr.ID, ev *expr.Event) []expr.ID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return dst
+	}
+	if e.hasAliases() {
+		// Match into a fresh tail so only this event's ids are rewritten.
+		head := len(dst)
+		dst = e.matchAppendLocked(dst, ev)
+		rewritten := e.translate(dst[head:])
+		return dst[:head+len(rewritten)]
+	}
+	return e.matchAppendLocked(dst, ev)
+}
+
+func (e *Engine) matchAppendLocked(dst []expr.ID, ev *expr.Event) []expr.ID {
+	if e.cm == nil {
+		if e.smStateful {
+			e.smMu.Lock()
+			defer e.smMu.Unlock()
+		}
+		return e.sm.MatchAppend(dst, ev)
+	}
+	s := e.scratches.Get().(*core.Scratch)
+	defer e.scratches.Put(s)
+	if e.pool == nil {
+		return e.cm.MatchWith(s, dst, ev)
+	}
+	pools := e.cm.CollectPools(nil, ev)
+	if len(pools) < e.opts.IntraEventParallelism {
+		for _, p := range pools {
+			dst = e.cm.MatchPool(s, dst, p, ev)
+		}
+		return dst
+	}
+	// Intra-event parallelism: shard candidate clusters across workers.
+	nw := e.pool.Workers() + 1 // workers plus the calling goroutine
+	parts := make([][]expr.ID, nw)
+	scratches := make([]*core.Scratch, nw)
+	e.pool.Run(len(pools), func(w, i int) {
+		if scratches[w] == nil {
+			scratches[w] = e.scratches.Get().(*core.Scratch)
+		}
+		parts[w] = e.cm.MatchPool(scratches[w], parts[w], pools[i], ev)
+	})
+	for w, part := range parts {
+		dst = append(dst, part...)
+		if scratches[w] != nil {
+			e.scratches.Put(scratches[w])
+		}
+	}
+	return dst
+}
+
+// MatchBatch matches a batch of events, returning one id slice per
+// event. With a worker pool and a parallel-safe algorithm the events are
+// matched concurrently (inter-event parallelism).
+func (e *Engine) MatchBatch(events []*expr.Event) [][]expr.ID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return make([][]expr.ID, len(events))
+	}
+	out := make([][]expr.ID, len(events))
+	switch {
+	case e.cm != nil && e.pool != nil:
+		e.pool.Run(len(events), func(_ int, i int) {
+			s := e.scratches.Get().(*core.Scratch)
+			out[i] = e.cm.MatchWith(s, nil, events[i])
+			e.scratches.Put(s)
+		})
+	case e.cm != nil:
+		s := e.scratches.Get().(*core.Scratch)
+		for i, ev := range events {
+			out[i] = e.cm.MatchWith(s, nil, ev)
+		}
+		e.scratches.Put(s)
+	case e.smStateful || e.pool == nil:
+		if e.smStateful {
+			e.smMu.Lock()
+			defer e.smMu.Unlock()
+		}
+		for i, ev := range events {
+			out[i] = e.sm.MatchAppend(nil, ev)
+		}
+	default:
+		// Stateless sequential matchers (Scan, BETree) are read-only
+		// during matching, so inter-event parallelism is safe.
+		e.pool.Run(len(events), func(_ int, i int) {
+			out[i] = e.sm.MatchAppend(nil, events[i])
+		})
+	}
+	if e.hasAliases() {
+		for i := range out {
+			out[i] = e.translate(out[i])
+		}
+	}
+	return out
+}
+
+// Prepare eagerly compiles all compressed clusters so that subsequent
+// matches pay no compilation cost. It is a no-op for the sequential
+// baselines.
+func (e *Engine) Prepare() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.cm == nil {
+		return
+	}
+	e.cm.PrepareAll()
+}
+
+// Stats describes the engine's state for tables and diagnostics.
+type Stats struct {
+	Algorithm        Algorithm
+	Subscriptions    int
+	Workers          int
+	MemBytes         int64
+	CompiledClusters int
+	// CompressionRatio is predicate slots per dictionary entry across
+	// compiled clusters (0 for baselines).
+	CompressionRatio float64
+	// CompressedServing counts clusters currently routed to the
+	// compressed kernel (A-PCM adaptivity visibility).
+	CompressedServing int
+}
+
+// Stats returns a snapshot of engine statistics.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{Algorithm: e.opts.Algorithm, Workers: 1}
+	if e.pool != nil {
+		st.Workers = e.pool.Workers()
+	}
+	if e.closed {
+		return st
+	}
+	if e.cm != nil {
+		st.Subscriptions = e.cm.Size()
+		st.MemBytes = e.cm.MemBytes()
+		cs := e.cm.Stats()
+		st.CompiledClusters = cs.CompiledClusters
+		st.CompressionRatio = cs.CompressionRatio()
+		st.CompressedServing = cs.CompressedServing
+		return st
+	}
+	st.Subscriptions = e.sm.Size()
+	st.MemBytes = e.mem.MemBytes()
+	return st
+}
+
+// ClusterInfo describes one compiled compressed cluster, for
+// diagnostics and capacity planning (see cmd/apcm-inspect).
+type ClusterInfo struct {
+	// Members is the number of member slots in use (live + tombstoned).
+	Members    int
+	Live       int
+	Tombstones int
+	// Attrs is the number of distinct attributes the cluster constrains.
+	Attrs int
+	// PredSlots and DistinctPreds give the cluster's compression:
+	// PredSlots predicates across members collapse to DistinctPreds
+	// dictionary entries.
+	PredSlots     int
+	DistinctPreds int
+	MemBytes      int64
+	// Compressed reports whether the adaptive policy currently routes
+	// this cluster to the compressed kernel.
+	Compressed bool
+	// Cost estimates from adaptive probes, ns/event (0 before any probe).
+	EwmaCompressedNs float64
+	EwmaScanNs       float64
+}
+
+// Clusters snapshots per-cluster diagnostics. It returns nil for the
+// sequential baselines, which have no compiled clusters.
+func (e *Engine) Clusters() []ClusterInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed || e.cm == nil {
+		return nil
+	}
+	raw := e.cm.Clusters()
+	out := make([]ClusterInfo, len(raw))
+	for i, c := range raw {
+		out[i] = ClusterInfo{
+			Members:          c.Members,
+			Live:             c.Live,
+			Tombstones:       c.Tombstones,
+			Attrs:            c.Attrs,
+			PredSlots:        c.PredSlots,
+			DistinctPreds:    c.DistinctPreds,
+			MemBytes:         c.MemBytes,
+			Compressed:       c.Compressed,
+			EwmaCompressedNs: c.EwmaCompressedNs,
+			EwmaScanNs:       c.EwmaScanNs,
+		}
+	}
+	return out
+}
+
+// Close releases the worker pool. Further Subscribes return ErrClosed
+// and Matches return nil. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}

@@ -1,0 +1,387 @@
+package apcm_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/workload"
+)
+
+func testWorkload(seed int64) *workload.Generator {
+	p := workload.Default()
+	p.Seed = seed
+	p.NumAttrs = 25
+	p.Cardinality = 50
+	p.EventAttrs = 8
+	p.PredsMin, p.PredsMax = 1, 4
+	p.MatchFraction = 0.3
+	p.WNegated = 0.05
+	return workload.MustNew(p)
+}
+
+func sorted(ids []expr.ID) []expr.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	g := testWorkload(1)
+	xs := g.Expressions(1500)
+	events := g.Events(400)
+
+	engines := map[string]*apcm.Engine{}
+	for _, alg := range apcm.Algorithms() {
+		for _, workers := range []int{1, 4} {
+			e := apcm.MustNew(apcm.Options{Algorithm: alg, Workers: workers, IntraEventParallelism: 4})
+			defer e.Close()
+			for _, x := range xs {
+				if err := e.Subscribe(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			engines[alg.String()+string(rune('0'+workers))] = e
+		}
+	}
+
+	for i, ev := range events {
+		var want []expr.ID
+		for _, x := range xs {
+			if x.MatchesEvent(ev) {
+				want = append(want, x.ID)
+			}
+		}
+		want = sorted(want)
+		for name, e := range engines {
+			got := sorted(e.Match(ev))
+			if len(got) != len(want) {
+				t.Fatalf("event %d: %s returned %d matches, oracle %d", i, name, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("event %d: %s diverged from oracle", i, name)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchBatchAgreesWithMatch(t *testing.T) {
+	g := testWorkload(2)
+	xs := g.Expressions(1000)
+	events := g.Events(200)
+	for _, alg := range apcm.Algorithms() {
+		e := apcm.MustNew(apcm.Options{Algorithm: alg, Workers: 4})
+		for _, x := range xs {
+			if err := e.Subscribe(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch := e.MatchBatch(events)
+		for i, ev := range events {
+			single := sorted(e.Match(ev))
+			got := sorted(batch[i])
+			if len(single) != len(got) {
+				t.Fatalf("%v: batch[%d] has %d matches, Match has %d", alg, i, len(got), len(single))
+			}
+			for j := range single {
+				if single[j] != got[j] {
+					t.Fatalf("%v: batch[%d] diverged", alg, i)
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{})
+	defer e.Close()
+	id, err := e.SubscribePreds(expr.Eq(1, 5), expr.Ge(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := expr.MustEvent(expr.P(1, 5), expr.P(2, 15))
+	if got := e.Match(ev); len(got) != 1 || got[0] != id {
+		t.Fatalf("Match = %v, want [%d]", got, id)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if !e.Unsubscribe(id) {
+		t.Fatal("Unsubscribe failed")
+	}
+	if e.Unsubscribe(id) {
+		t.Fatal("double Unsubscribe succeeded")
+	}
+	if got := e.Match(ev); len(got) != 0 {
+		t.Fatalf("match after unsubscribe: %v", got)
+	}
+}
+
+func TestSubscribePredsValidates(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{})
+	defer e.Close()
+	if _, err := e.SubscribePreds(); err == nil {
+		t.Fatal("empty predicate list should fail")
+	}
+	if _, err := e.SubscribePreds(expr.Predicate{Attr: 1, Op: expr.Between, Lo: 5, Hi: 1}); err == nil {
+		t.Fatal("invalid predicate should fail")
+	}
+}
+
+func TestDuplicateSubscribe(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{})
+	defer e.Close()
+	x := expr.MustNew(7, expr.Eq(1, 1))
+	if err := e.Subscribe(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Subscribe(x); err == nil {
+		t.Fatal("duplicate id should fail")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{})
+	defer e.Close()
+	seen := map[expr.ID]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := e.NewID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloseSemantics(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{Workers: 2})
+	if _, err := e.SubscribePreds(expr.Eq(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Subscribe(expr.MustNew(99, expr.Eq(1, 1))); err != apcm.ErrClosed {
+		t.Fatalf("Subscribe after close = %v, want ErrClosed", err)
+	}
+	if got := e.Match(expr.MustEvent(expr.P(1, 1))); got != nil {
+		t.Fatalf("Match after close = %v", got)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len after close = %d", e.Len())
+	}
+	if e.Unsubscribe(1) {
+		t.Fatal("Unsubscribe after close succeeded")
+	}
+}
+
+func TestConcurrentSubscribeAndMatch(t *testing.T) {
+	g := testWorkload(3)
+	xs := g.Expressions(2000)
+	events := g.Events(100)
+	e := apcm.MustNew(apcm.Options{Workers: 4})
+	defer e.Close()
+	for _, x := range xs[:1000] {
+		if err := e.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs[1000:] {
+			if err := e.Subscribe(x); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			e.Match(events[i%len(events)])
+		}
+	}()
+	wg.Wait()
+	if e.Len() != 2000 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := testWorkload(4)
+	e := apcm.MustNew(apcm.Options{Algorithm: APCMFor(t), Workers: 2})
+	defer e.Close()
+	for _, x := range g.Expressions(1000) {
+		if err := e.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Prepare()
+	st := e.Stats()
+	if st.Subscriptions != 1000 {
+		t.Fatalf("Subscriptions = %d", st.Subscriptions)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("Workers = %d", st.Workers)
+	}
+	if st.MemBytes <= 0 {
+		t.Fatal("MemBytes should be positive")
+	}
+	if st.CompiledClusters == 0 {
+		t.Fatal("Prepare compiled nothing")
+	}
+	if st.CompressionRatio <= 0 {
+		t.Fatal("CompressionRatio should be positive after Prepare")
+	}
+}
+
+// APCMFor exists to keep the algorithm symbol usage obvious in tests.
+func APCMFor(t *testing.T) apcm.Algorithm {
+	t.Helper()
+	return apcm.APCM
+}
+
+func TestStatsBaseline(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{Algorithm: apcm.Scan, Workers: 1})
+	defer e.Close()
+	if _, err := e.SubscribePreds(expr.Eq(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CompiledClusters != 0 || st.CompressionRatio != 0 {
+		t.Fatal("baseline should report no compression")
+	}
+	if st.MemBytes <= 0 || st.Subscriptions != 1 || st.Workers != 1 {
+		t.Fatalf("baseline stats wrong: %+v", st)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]apcm.Algorithm{
+		"apcm": apcm.APCM, "A-PCM": apcm.APCM, "adaptive": apcm.APCM,
+		"PCM": apcm.PCM, "compressed": apcm.PCM,
+		"betree": apcm.BETree, "BE-Tree": apcm.BETree,
+		"counting": apcm.Counting, "scan": apcm.Scan, "naive": apcm.Scan,
+	}
+	for s, want := range cases {
+		got, err := apcm.ParseAlgorithm(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := apcm.ParseAlgorithm("quantum"); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, a := range apcm.Algorithms() {
+		if a.String() == "" {
+			t.Fatalf("algorithm %d has empty name", a)
+		}
+		back, err := apcm.ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip failed for %v", a)
+		}
+	}
+}
+
+func TestNormalizeOption(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{Workers: 1, Normalize: true})
+	defer e.Close()
+	// Redundant predicates collapse but matching is unchanged.
+	id, err := e.SubscribePreds(expr.Ge(1, 100), expr.Ge(1, 150), expr.Le(1, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Match(expr.MustEvent(expr.P(1, 200))); len(got) != 1 || got[0] != id {
+		t.Fatalf("got %v", got)
+	}
+	if got := e.Match(expr.MustEvent(expr.P(1, 120))); len(got) != 0 {
+		t.Fatalf("normalization changed semantics: %v", got)
+	}
+	// Unsatisfiable subscriptions are rejected up front.
+	if _, err := e.SubscribePreds(expr.Eq(1, 1), expr.Eq(1, 2)); err != apcm.ErrUnsatisfiable {
+		t.Fatalf("unsat subscribe = %v, want ErrUnsatisfiable", err)
+	}
+	// DNF: unsat disjuncts are dropped, all-unsat groups rejected.
+	gid, err := e.SubscribeAny(
+		[]expr.Predicate{expr.Eq(2, 1), expr.Eq(2, 2)}, // unsat
+		[]expr.Predicate{expr.Eq(2, 3)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Match(expr.MustEvent(expr.P(2, 3))); len(got) != 1 || got[0] != gid {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := e.SubscribeAny([]expr.Predicate{expr.Eq(2, 1), expr.Eq(2, 2)}); err != apcm.ErrUnsatisfiable {
+		t.Fatalf("all-unsat group = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestClustersDiagnostics(t *testing.T) {
+	g := testWorkload(9)
+	e := apcm.MustNew(apcm.Options{Workers: 1, ProbeInterval: 4})
+	defer e.Close()
+	for _, x := range g.Expressions(2000) {
+		if err := e.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Prepare()
+	for _, ev := range g.Events(200) {
+		e.Match(ev)
+	}
+	cs := e.Clusters()
+	if len(cs) == 0 {
+		t.Fatal("no cluster diagnostics after Prepare")
+	}
+	totalLive, probed := 0, 0
+	for _, c := range cs {
+		if c.Live != c.Members-c.Tombstones {
+			t.Fatalf("live/members/tombstones inconsistent: %+v", c)
+		}
+		if c.PredSlots < c.DistinctPreds || c.Attrs <= 0 || c.MemBytes <= 0 {
+			t.Fatalf("implausible cluster info: %+v", c)
+		}
+		totalLive += c.Live
+		if c.EwmaCompressedNs > 0 {
+			probed++
+		}
+	}
+	if totalLive > 2000 {
+		t.Fatalf("clusters hold %d live members, more than subscribed", totalLive)
+	}
+	if probed == 0 {
+		t.Fatal("no cluster was ever probed despite matching")
+	}
+	// Baselines have no clusters.
+	b := apcm.MustNew(apcm.Options{Algorithm: apcm.BETree})
+	defer b.Close()
+	if b.Clusters() != nil {
+		t.Fatal("baseline reported clusters")
+	}
+}
+
+func TestPrepareOnBaselineIsNoop(t *testing.T) {
+	e := apcm.MustNew(apcm.Options{Algorithm: apcm.BETree})
+	defer e.Close()
+	e.Prepare() // must not panic
+}

@@ -1,0 +1,383 @@
+// Go benchmarks, one per evaluation table/figure (E1–E14; DESIGN.md §4).
+// Each benchmark is the testing.B twin of the corresponding experiment
+// in cmd/apcm-bench: identical workloads at CI-friendly sizes, with
+// events/s reported as a custom metric. Run the binary for the full
+// tables; run these for quick regression tracking:
+//
+//	go test -bench=. -benchmem
+package apcm_test
+
+import (
+	"net"
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/broker"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/osr"
+	"github.com/streammatch/apcm/workload"
+)
+
+// benchParams is the canonical benchmark workload (DESIGN.md §4),
+// scaled to benchmark-friendly sizes.
+func benchParams() workload.Params {
+	return workload.Default()
+}
+
+func benchWorkload(b *testing.B, p workload.Params, n, nev int) ([]*expr.Expression, []*expr.Event) {
+	b.Helper()
+	g, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Expressions(n), g.Events(nev)
+}
+
+func benchEngine(b *testing.B, opts apcm.Options, xs []*expr.Expression) *apcm.Engine {
+	b.Helper()
+	e, err := apcm.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, x := range xs {
+		if err := e.Subscribe(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Prepare()
+	b.Cleanup(e.Close)
+	return e
+}
+
+// matchLoop drives b.N single-event matches and reports events/s.
+func matchLoop(b *testing.B, e *apcm.Engine, events []*expr.Event) {
+	b.Helper()
+	var dst []expr.ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = e.MatchAppend(dst[:0], events[i%len(events)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// ---- E1: headline throughput, all algorithms --------------------------
+
+func BenchmarkE1HeadlineThroughput(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, alg := range apcm.Algorithms() {
+		b.Run(alg.String(), func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{Algorithm: alg}, xs), events)
+		})
+	}
+}
+
+// ---- E2: subscription scaling ------------------------------------------
+
+func BenchmarkE2SubscriptionScaling(b *testing.B) {
+	for _, n := range []int{1000, 5000, 20000} {
+		xs, events := benchWorkload(b, benchParams(), n, 1000)
+		for _, alg := range []apcm.Algorithm{apcm.BETree, apcm.APCM} {
+			b.Run(alg.String()+"/n="+itoa(n), func(b *testing.B) {
+				matchLoop(b, benchEngine(b, apcm.Options{Algorithm: alg}, xs), events)
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// ---- E3: predicates per expression --------------------------------------
+
+func BenchmarkE3PredicateCount(b *testing.B) {
+	for _, k := range []int{3, 7, 12} {
+		p := benchParams()
+		p.PredsMin, p.PredsMax = k, k
+		if p.EventAttrs < k+3 {
+			p.EventAttrs = k + 3
+		}
+		xs, events := benchWorkload(b, p, 5000, 1000)
+		b.Run("preds="+itoa(k), func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{}, xs), events)
+		})
+	}
+}
+
+// ---- E4: dimensionality --------------------------------------------------
+
+func BenchmarkE4Dimensionality(b *testing.B) {
+	for _, d := range []int{50, 200, 800} {
+		p := benchParams()
+		p.NumAttrs = d
+		xs, events := benchWorkload(b, p, 5000, 1000)
+		b.Run("attrs="+itoa(d), func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{}, xs), events)
+		})
+	}
+}
+
+// ---- E5: match probability ----------------------------------------------
+
+func BenchmarkE5MatchProbability(b *testing.B) {
+	for _, mf := range []int{0, 5, 25} { // percent
+		p := benchParams()
+		p.MatchFraction = float64(mf) / 100
+		xs, events := benchWorkload(b, p, 5000, 1000)
+		b.Run("match="+itoa(mf)+"pct", func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{}, xs), events)
+		})
+	}
+}
+
+// ---- E6: parallel scaling -------------------------------------------------
+
+func BenchmarkE6ParallelScaling(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, w := range []int{1, 2, 4} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			e := benchEngine(b, apcm.Options{Workers: w}, xs)
+			const batch = 64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % len(events)
+				end := off + batch
+				if end > len(events) {
+					end = len(events)
+				}
+				e.MatchBatch(events[off:end])
+			}
+			b.StopTimer()
+			processed := float64(b.N) * batch
+			b.ReportMetric(processed/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// ---- E7: adaptivity across redundancy --------------------------------------
+
+func BenchmarkE7Adaptivity(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		pool int
+		card int
+	}{
+		{"redundant", 4, 1000},
+		{"heterogeneous", 0, 100000},
+	} {
+		p := benchParams()
+		p.PredPoolSize = v.pool
+		p.Cardinality = v.card
+		xs, events := benchWorkload(b, p, 8000, 1000)
+		for _, alg := range []apcm.Algorithm{apcm.PCM, apcm.APCM} {
+			b.Run(v.name+"/"+alg.String(), func(b *testing.B) {
+				matchLoop(b, benchEngine(b, apcm.Options{Algorithm: alg}, xs), events)
+			})
+		}
+	}
+}
+
+// ---- E8: OSR window ----------------------------------------------------------
+
+func BenchmarkE8OSRWindow(b *testing.B) {
+	p := benchParams()
+	p.AttrZipf = 1.5
+	xs, events := benchWorkload(b, p, 10000, 2000)
+	for _, w := range []int{1, 64, 1024} {
+		ordered := make([]*expr.Event, len(events))
+		copy(ordered, events)
+		if w > 1 {
+			for off := 0; off < len(ordered); off += w {
+				end := off + w
+				if end > len(ordered) {
+					end = len(ordered)
+				}
+				osr.Reorder(ordered[off:end])
+			}
+		}
+		b.Run("window="+itoa(w), func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{}, xs), ordered)
+		})
+	}
+}
+
+// ---- E9: index build and footprint ---------------------------------------------
+
+func BenchmarkE9IndexBuild(b *testing.B) {
+	xs, _ := benchWorkload(b, benchParams(), 10000, 10)
+	for _, alg := range apcm.Algorithms() {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var mem int64
+			for i := 0; i < b.N; i++ {
+				e, err := apcm.New(apcm.Options{Algorithm: alg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, x := range xs {
+					if err := e.Subscribe(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+				e.Prepare()
+				mem = e.Stats().MemBytes
+				e.Close()
+			}
+			b.ReportMetric(float64(mem)/float64(len(xs)), "bytes/sub")
+		})
+	}
+}
+
+// ---- E10: batch size ---------------------------------------------------------------
+
+func BenchmarkE10BatchSize(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 2000)
+	e := benchEngine(b, apcm.Options{}, xs)
+	for _, batch := range []int{1, 64, 1024} {
+		b.Run("batch="+itoa(batch), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % len(events)
+				end := off + batch
+				if end > len(events) {
+					end = len(events)
+				}
+				e.MatchBatch(events[off:end])
+				processed += end - off
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// ---- E11: single-event latency -------------------------------------------------------
+
+func BenchmarkE11MatchLatency(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, alg := range []apcm.Algorithm{apcm.Scan, apcm.BETree, apcm.APCM} {
+		b.Run(alg.String(), func(b *testing.B) {
+			// ns/op here IS the per-event match latency.
+			matchLoop(b, benchEngine(b, apcm.Options{Algorithm: alg}, xs), events)
+		})
+	}
+}
+
+// ---- E12: updates ---------------------------------------------------------------------
+
+func BenchmarkE12Updates(b *testing.B) {
+	for _, alg := range []apcm.Algorithm{apcm.BETree, apcm.Counting, apcm.APCM} {
+		b.Run(alg.String(), func(b *testing.B) {
+			xs, _ := benchWorkload(b, benchParams(), 10000, 10)
+			e := benchEngine(b, apcm.Options{Algorithm: alg}, xs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := xs[i%len(xs)]
+				if !e.Unsubscribe(x.ID) {
+					b.Fatal("unsubscribe failed")
+				}
+				if err := e.Subscribe(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E13: operator mix -------------------------------------------------------------------
+
+func BenchmarkE13OperatorMix(b *testing.B) {
+	for _, eq := range []int{100, 60, 30} { // percent equality
+		p := benchParams()
+		rest := 1 - float64(eq)/100
+		p.WEquality = float64(eq) / 100
+		p.WRange = rest * 0.7
+		p.WMembership = rest * 0.3
+		xs, events := benchWorkload(b, p, 8000, 1000)
+		b.Run("eq="+itoa(eq)+"pct", func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{}, xs), events)
+		})
+	}
+}
+
+// ---- E15 (ablation): probe interval ----------------------------------------------------------
+
+func BenchmarkE15ProbeInterval(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, pi := range []int{4, 64, 1024} {
+		b.Run("probe="+itoa(pi), func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{ProbeInterval: pi}, xs), events)
+		})
+	}
+}
+
+// ---- E16 (ablation): cluster size ------------------------------------------------------------
+
+func BenchmarkE16ClusterSize(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, size := range []int{32, 256, 1024} {
+		b.Run("cluster="+itoa(size), func(b *testing.B) {
+			matchLoop(b, benchEngine(b, apcm.Options{ClusterSize: size}, xs), events)
+		})
+	}
+}
+
+// ---- E14: broker end-to-end -----------------------------------------------------------------
+
+func BenchmarkE14BrokerEndToEnd(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 5000, 500)
+	eng := benchEngine(b, apcm.Options{}, nil)
+	for _, x := range xs {
+		seed := &expr.Expression{ID: x.ID + 1<<40, Preds: x.Preds}
+		if err := eng.Subscribe(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Prepare()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := broker.NewServer(eng)
+	srv.Logf = func(string, ...any) {}
+	go srv.Serve(ln)
+	b.Cleanup(srv.Close)
+	c, err := broker.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Publish(events[i%len(events)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 || i == b.N-1 {
+			// Barrier: an acknowledged request on the same connection
+			// proves the server has processed every prior publish.
+			if err := c.Unsubscribe(expr.ID(1 << 50)); err == nil {
+				b.Fatal("barrier unsubscribe unexpectedly succeeded")
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,0 +1,235 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/streammatch/apcm/expr"
+)
+
+// Handler receives events matching a subscription. Handlers run on the
+// client's read loop: keep them short or hand off to a channel.
+type Handler func(ev *expr.Event)
+
+// Client is a broker connection. Safe for concurrent use; Subscribe and
+// Unsubscribe are serialised (one outstanding acknowledged request at a
+// time), Publish is fire-and-forget.
+type Client struct {
+	nc net.Conn
+
+	writeMu sync.Mutex // frame writes
+	reqMu   sync.Mutex // one outstanding ack'd request
+
+	mu       sync.Mutex
+	handlers map[uint64]Handler
+	acks     chan ackResult
+	closed   bool
+	readErr  error
+	done     chan struct{}
+}
+
+type ackResult struct {
+	id  uint64
+	err error
+}
+
+// Dial connects to a broker at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:       nc,
+		handlers: make(map[uint64]Handler),
+		acks:     make(chan ackResult, 1),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("broker: client closed")
+
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		frame, err := readFrame(c.nc, buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		buf = frame
+		switch frame[0] {
+		case msgAck:
+			id, _, err := readUvarint(frame[1:])
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliverAck(ackResult{id: id})
+		case msgErr:
+			id, rest, err := readUvarint(frame[1:])
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliverAck(ackResult{id: id, err: fmt.Errorf("broker: %s", rest)})
+		case msgMatch:
+			if err := c.handleMatch(frame[1:]); err != nil {
+				c.fail(err)
+				return
+			}
+		default:
+			c.fail(fmt.Errorf("broker: unknown server message %q", frame[0]))
+			return
+		}
+	}
+}
+
+func (c *Client) deliverAck(r ackResult) {
+	select {
+	case c.acks <- r:
+	default:
+		// No request outstanding: a protocol violation by the server;
+		// drop the stray ack rather than deadlocking.
+	}
+}
+
+func (c *Client) handleMatch(body []byte) error {
+	n, rest, err := readUvarint(body)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i], rest, err = readUvarint(rest)
+		if err != nil {
+			return err
+		}
+	}
+	ev, used, err := expr.DecodeEvent(rest)
+	if err != nil {
+		return err
+	}
+	if used != len(rest) {
+		return fmt.Errorf("broker: trailing bytes in match frame")
+	}
+	c.mu.Lock()
+	hs := make([]Handler, 0, len(ids))
+	for _, id := range ids {
+		if h, ok := c.handlers[id]; ok {
+			hs = append(hs, h)
+		}
+	}
+	c.mu.Unlock()
+	for _, h := range hs {
+		h(ev)
+	}
+	return nil
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.readErr = err
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+func (c *Client) write(frame []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.nc, frame)
+}
+
+// request sends a frame and waits for its acknowledgement.
+func (c *Client) request(frame []byte, wantID uint64) error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := c.write(frame); err != nil {
+		return err
+	}
+	select {
+	case r := <-c.acks:
+		if r.id != wantID {
+			return fmt.Errorf("broker: acknowledgement for %d, expected %d", r.id, wantID)
+		}
+		return r.err
+	case <-c.done:
+		return c.readErr
+	}
+}
+
+// Subscribe registers x with the broker and routes matching events to
+// handler. The expression's ID scopes the subscription within this
+// client and must be unique among its live subscriptions.
+func (c *Client) Subscribe(x *expr.Expression, handler Handler) error {
+	if handler == nil {
+		return errors.New("broker: nil handler")
+	}
+	c.mu.Lock()
+	if _, dup := c.handlers[uint64(x.ID)]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("broker: duplicate subscription id %d", x.ID)
+	}
+	c.handlers[uint64(x.ID)] = handler
+	c.mu.Unlock()
+
+	frame := expr.AppendExpression([]byte{msgSubscribe}, x)
+	if err := c.request(frame, uint64(x.ID)); err != nil {
+		c.mu.Lock()
+		delete(c.handlers, uint64(x.ID))
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Unsubscribe removes the subscription with the given id.
+func (c *Client) Unsubscribe(id expr.ID) error {
+	frame := appendUvarint([]byte{msgUnsubscribe}, uint64(id))
+	if err := c.request(frame, uint64(id)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.handlers, uint64(id))
+	c.mu.Unlock()
+	return nil
+}
+
+// Publish sends an event to the broker (fire-and-forget).
+func (c *Client) Publish(ev *expr.Event) error {
+	return c.write(expr.AppendEvent([]byte{msgPublish}, ev))
+}
+
+// Err returns the terminal read-loop error, if the connection has
+// failed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// Close terminates the connection. Blocked requests are released.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return nil
+}

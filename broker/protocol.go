@@ -1,0 +1,90 @@
+// Package broker is the networked pub/sub substrate: a TCP server that
+// fronts an apcm.Engine with subscribe/unsubscribe/publish operations
+// and pushes match notifications to subscriber connections, plus the
+// matching client library. It realises the paper's motivating
+// application — selective information dissemination — end to end.
+//
+// Wire format: length-prefixed frames (uint32 big-endian length, then
+// payload, at most MaxFrame bytes). The first payload byte is the
+// message type:
+//
+//	'S' subscribe    client→server  expression (client-scoped id)
+//	'U' unsubscribe  client→server  uvarint id
+//	'P' publish      client→server  event
+//	'A' ack          server→client  uvarint id (subscribe/unsubscribe ok)
+//	'E' error        server→client  uvarint id, utf-8 message
+//	'M' match        server→client  uvarint n, n×uvarint ids, event
+//
+// Subscribe and unsubscribe are acknowledged (one outstanding request
+// per connection); publish is fire-and-forget.
+package broker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds frame payloads; larger frames indicate corruption or
+// abuse and terminate the connection.
+const MaxFrame = 1 << 20
+
+// Message type bytes.
+const (
+	msgSubscribe   = 'S'
+	msgUnsubscribe = 'U'
+	msgPublish     = 'P'
+	msgAck         = 'A'
+	msgErr         = 'E'
+	msgMatch       = 'M'
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("broker: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame into buf (reallocating as needed) and
+// returns the payload.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 {
+		return nil, fmt.Errorf("broker: empty frame")
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("broker: frame of %d bytes exceeds limit", size)
+	}
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("broker: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("broker: truncated varint")
+	}
+	return v, b[n:], nil
+}

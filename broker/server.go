@@ -1,0 +1,332 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+)
+
+// Server fronts an Engine over TCP. Create with NewServer, start with
+// Serve, stop with Close.
+type Server struct {
+	eng *apcm.Engine
+	// Logf receives connection-level diagnostics; defaults to log.Printf.
+	// Set before Serve.
+	Logf func(format string, args ...any)
+	// SlowConsumerTimeout bounds how long a delivery may wait on a full
+	// client outbox before the connection is dropped. Within the
+	// timeout, backpressure propagates to the publisher. Defaults to 2s;
+	// set before Serve.
+	SlowConsumerTimeout time.Duration
+
+	mu     sync.RWMutex
+	subs   map[expr.ID]*subscriber // engine id -> owner
+	conns  map[*conn]struct{}
+	closed bool
+	ln     net.Listener
+
+	published atomic.Int64
+	delivered atomic.Int64
+}
+
+type subscriber struct {
+	c        *conn
+	clientID uint64
+}
+
+// conn is one client connection. Outbound frames go through a bounded
+// outbox drained by a writer goroutine; a full outbox applies
+// backpressure to the publisher first and terminates the connection
+// only after SlowConsumerTimeout.
+type conn struct {
+	s      *Server
+	nc     net.Conn
+	outbox chan []byte
+	done   chan struct{}
+	closeO sync.Once
+	// engine ids owned by this connection, keyed by client id.
+	mu       sync.Mutex
+	byClient map[uint64]expr.ID
+}
+
+// NewServer wraps eng. The server takes no ownership: closing the server
+// does not close the engine.
+func NewServer(eng *apcm.Engine) *Server {
+	return &Server{
+		eng:   eng,
+		Logf:  log.Printf,
+		subs:  make(map[expr.ID]*subscriber),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// Stats reports cumulative publish/delivery counts.
+func (s *Server) Stats() (published, delivered int64) {
+	return s.published.Load(), s.delivered.Load()
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close, or the listener error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("broker: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &conn{
+			s:        s,
+			nc:       nc,
+			outbox:   make(chan []byte, 256),
+			done:     make(chan struct{}),
+			byClient: make(map[uint64]expr.ID),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.writeLoop()
+		go c.readLoop()
+	}
+}
+
+// Close stops accepting, drops every connection and unregisters their
+// subscriptions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+}
+
+func (c *conn) writeLoop() {
+	for {
+		select {
+		case frame := <-c.outbox:
+			if err := writeFrame(c.nc, frame); err != nil {
+				c.shutdown()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// send enqueues a frame. A full outbox first applies backpressure (the
+// sending publisher blocks, bounding its ingestion rate to the
+// consumer's drain rate, as pub/sub flow control should); only a
+// consumer that stays stalled past SlowConsumerTimeout is dropped.
+func (c *conn) send(frame []byte) {
+	select {
+	case c.outbox <- frame:
+		return
+	case <-c.done:
+		return
+	default:
+	}
+	timeout := c.s.SlowConsumerTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case c.outbox <- frame:
+	case <-c.done:
+	case <-t.C:
+		c.s.Logf("broker: dropping slow consumer %v (stalled %v)", c.nc.RemoteAddr(), timeout)
+		c.shutdown()
+	}
+}
+
+func (c *conn) shutdown() {
+	c.closeO.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		// Unregister this connection's subscriptions.
+		c.mu.Lock()
+		ids := make([]expr.ID, 0, len(c.byClient))
+		for _, id := range c.byClient {
+			ids = append(ids, id)
+		}
+		c.byClient = make(map[uint64]expr.ID)
+		c.mu.Unlock()
+		c.s.mu.Lock()
+		for _, id := range ids {
+			delete(c.s.subs, id)
+		}
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+		for _, id := range ids {
+			c.s.eng.Unsubscribe(id)
+		}
+	})
+}
+
+func (c *conn) readLoop() {
+	defer c.shutdown()
+	var buf []byte
+	for {
+		frame, err := readFrame(c.nc, buf)
+		if err != nil {
+			return
+		}
+		buf = frame
+		if err := c.handle(frame); err != nil {
+			c.s.Logf("broker: %v: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (c *conn) handle(frame []byte) error {
+	switch frame[0] {
+	case msgSubscribe:
+		return c.handleSubscribe(frame[1:])
+	case msgUnsubscribe:
+		return c.handleUnsubscribe(frame[1:])
+	case msgPublish:
+		return c.handlePublish(frame[1:])
+	default:
+		return fmt.Errorf("unknown message type %q", frame[0])
+	}
+}
+
+func (c *conn) ack(clientID uint64) {
+	c.send(appendUvarint([]byte{msgAck}, clientID))
+}
+
+func (c *conn) nack(clientID uint64, err error) {
+	frame := appendUvarint([]byte{msgErr}, clientID)
+	c.send(append(frame, err.Error()...))
+}
+
+func (c *conn) handleSubscribe(body []byte) error {
+	x, n, err := expr.DecodeExpression(body)
+	if err != nil {
+		return fmt.Errorf("bad subscribe: %w", err)
+	}
+	if n != len(body) {
+		return fmt.Errorf("trailing bytes after subscribe")
+	}
+	clientID := uint64(x.ID)
+	c.mu.Lock()
+	_, dup := c.byClient[clientID]
+	c.mu.Unlock()
+	if dup {
+		c.nack(clientID, fmt.Errorf("duplicate subscription id %d", clientID))
+		return nil
+	}
+	// Re-key the expression under an engine-allocated id, so broker
+	// subscriptions never collide with ids the embedding application
+	// registered directly on the shared engine.
+	engID := c.s.eng.NewID()
+	rekeyed := &expr.Expression{ID: engID, Preds: x.Preds}
+	if err := c.s.eng.Subscribe(rekeyed); err != nil {
+		c.nack(clientID, err)
+		return nil
+	}
+	c.s.mu.Lock()
+	c.s.subs[engID] = &subscriber{c: c, clientID: clientID}
+	c.s.mu.Unlock()
+	c.mu.Lock()
+	c.byClient[clientID] = engID
+	c.mu.Unlock()
+	c.ack(clientID)
+	return nil
+}
+
+func (c *conn) handleUnsubscribe(body []byte) error {
+	clientID, rest, err := readUvarint(body)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("bad unsubscribe")
+	}
+	c.mu.Lock()
+	engID, ok := c.byClient[clientID]
+	if ok {
+		delete(c.byClient, clientID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.nack(clientID, fmt.Errorf("unknown subscription id %d", clientID))
+		return nil
+	}
+	c.s.mu.Lock()
+	delete(c.s.subs, engID)
+	c.s.mu.Unlock()
+	c.s.eng.Unsubscribe(engID)
+	c.ack(clientID)
+	return nil
+}
+
+func (c *conn) handlePublish(body []byte) error {
+	ev, n, err := expr.DecodeEvent(body)
+	if err != nil {
+		return fmt.Errorf("bad publish: %w", err)
+	}
+	if n != len(body) {
+		return fmt.Errorf("trailing bytes after publish")
+	}
+	c.s.published.Add(1)
+	matches := c.s.eng.Match(ev)
+	if len(matches) == 0 {
+		return nil
+	}
+	// Group matched subscriptions by owning connection.
+	byConn := make(map[*conn][]uint64)
+	c.s.mu.RLock()
+	for _, engID := range matches {
+		if sub, ok := c.s.subs[engID]; ok {
+			byConn[sub.c] = append(byConn[sub.c], sub.clientID)
+		}
+	}
+	c.s.mu.RUnlock()
+	for target, clientIDs := range byConn {
+		frame := appendUvarint([]byte{msgMatch}, uint64(len(clientIDs)))
+		for _, id := range clientIDs {
+			frame = appendUvarint(frame, id)
+		}
+		frame = expr.AppendEvent(frame, ev)
+		target.send(frame)
+		c.s.delivered.Add(int64(len(clientIDs)))
+	}
+	return nil
+}

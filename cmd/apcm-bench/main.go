@@ -1,0 +1,96 @@
+// Command apcm-bench regenerates the evaluation's tables and figures
+// (experiments E1–E14, see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	apcm-bench -list
+//	apcm-bench -exp E1,E7 -scale 1 -workers 0
+//	apcm-bench -exp all -scale 5 -measure 2s
+//
+// Scale multiplies workload sizes: -scale 1 is laptop/CI friendly,
+// -scale 50 and a few minutes reach paper-sized subscription counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"github.com/streammatch/apcm/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload size multiplier")
+		workers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		measure = flag.Duration("measure", 500*time.Millisecond, "minimum measurement time per data point")
+		csv     = flag.Bool("csv", false, "emit tables as CSV")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n     expected shape: %s\n", e.ID, e.Title, e.Expect)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if strings.EqualFold(*exps, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Get(strings.ToUpper(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "apcm-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := bench.Config{
+		Out:        os.Stdout,
+		Scale:      *scale,
+		Workers:    *workers,
+		Seed:       *seed,
+		MinMeasure: *measure,
+		CSV:        *csv,
+	}
+	fmt.Printf("apcm-bench: %d experiment(s), scale=%.2f workers=%d GOMAXPROCS=%d\n\n",
+		len(selected), *scale, *workers, runtime.GOMAXPROCS(0))
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s: %s\n   paper shape: %s\n", e.ID, e.Title, e.Expect)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-bench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (%s elapsed)\n", time.Since(start).Round(time.Millisecond))
+	}
+}

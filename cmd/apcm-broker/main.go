@@ -1,0 +1,147 @@
+// Command apcm-broker runs the networked pub/sub broker: a TCP front
+// end over the matching engine. Clients subscribe Boolean expressions
+// and receive every published event that satisfies them (selective
+// information dissemination).
+//
+// Usage:
+//
+//	apcm-broker -addr :7070 -algorithm apcm -workers 0
+//
+// Optionally pre-load a subscription trace produced by apcm-gen and
+// expose an HTTP monitoring endpoint:
+//
+//	apcm-broker -addr :7070 -subs workload.subs -http :7071
+//
+// The monitoring endpoint serves GET /stats (engine and broker counters
+// as JSON) and GET /healthz.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/broker"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address")
+		algName  = flag.String("algorithm", "apcm", "matching algorithm (apcm, pcm, kindex, betree, counting, scan)")
+		workers  = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		subs     = flag.String("subs", "", "optional subscription trace to pre-load")
+		statsIv  = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+		httpAddr = flag.String("http", "", "optional HTTP monitoring address (serves /stats and /healthz)")
+	)
+	flag.Parse()
+
+	alg, err := apcm.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	eng, err := apcm.New(apcm.Options{Algorithm: alg, Workers: *workers})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer eng.Close()
+
+	if *subs != "" {
+		f, err := os.Open(*subs)
+		if err != nil {
+			fatal("%v", err)
+		}
+		xs, err := trace.ReadExpressions(f)
+		f.Close()
+		if err != nil {
+			fatal("reading %s: %v", *subs, err)
+		}
+		for _, x := range xs {
+			// Pre-loaded ids live in a high range, clear of the ids the
+			// broker allocates for client subscriptions.
+			seed := &expr.Expression{ID: x.ID + 1<<40, Preds: x.Preds}
+			if err := eng.Subscribe(seed); err != nil {
+				fatal("loading subscriptions: %v", err)
+			}
+		}
+		eng.Prepare()
+		fmt.Printf("apcm-broker: pre-loaded %d subscriptions from %s\n", len(xs), *subs)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	srv := broker.NewServer(eng)
+	start := time.Now()
+	fmt.Printf("apcm-broker: %s engine, listening on %s\n", alg, ln.Addr())
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+			pub, del := srv.Stats()
+			st := eng.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"algorithm":          st.Algorithm.String(),
+				"subscriptions":      st.Subscriptions,
+				"workers":            st.Workers,
+				"mem_bytes":          st.MemBytes,
+				"compiled_clusters":  st.CompiledClusters,
+				"compression_ratio":  st.CompressionRatio,
+				"compressed_serving": st.CompressedServing,
+				"published":          pub,
+				"delivered":          del,
+				"uptime_seconds":     int64(time.Since(start).Seconds()),
+			})
+		})
+		hs := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("apcm-broker: monitoring on http://%s/stats\n", *httpAddr)
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal("http: %v", err)
+			}
+		}()
+		defer hs.Close()
+	}
+
+	if *statsIv > 0 {
+		go func() {
+			for range time.Tick(*statsIv) {
+				pub, del := srv.Stats()
+				st := eng.Stats()
+				fmt.Printf("apcm-broker: subs=%d published=%d delivered=%d mem=%dKiB\n",
+					st.Subscriptions, pub, del, st.MemBytes/1024)
+			}
+		}()
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\napcm-broker: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "apcm-broker: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command apcm-client talks to an apcm-broker: subscribe with a textual
+// Boolean expression and stream matching events, publish single events,
+// or replay an event trace as a load driver.
+//
+// Attribute names map to ids by declaration order, so every client that
+// should interoperate must pass the same -attrs list:
+//
+//	apcm-client -addr :7070 -attrs price,brand,rating sub 'price <= 500 and brand in {3, 7}'
+//	apcm-client -addr :7070 -attrs price,brand,rating pub 'price=300, brand=7, rating=5'
+//	apcm-client -addr :7070 load workload.events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/streammatch/apcm/broker"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "localhost:7070", "broker address")
+		attrs = flag.String("attrs", "", "comma-separated attribute names, declared in id order")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	schema := expr.NewSchema()
+	if *attrs != "" {
+		for _, name := range strings.Split(*attrs, ",") {
+			schema.Attr(strings.TrimSpace(name))
+		}
+	}
+
+	c, err := broker.Dial(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "sub":
+		if len(args) != 2 {
+			usage()
+		}
+		x, err := expr.Parse(schema, 1, args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := c.Subscribe(x, func(ev *expr.Event) {
+			fmt.Printf("match: %s\n", ev.Format(schema))
+		}); err != nil {
+			fatal("subscribe: %v", err)
+		}
+		fmt.Printf("apcm-client: subscribed to %q; waiting for events (Ctrl-C to exit)\n", x.Format(schema))
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	case "pub":
+		if len(args) != 2 {
+			usage()
+		}
+		ev, err := expr.ParseEvent(schema, args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := c.Publish(ev); err != nil {
+			fatal("publish: %v", err)
+		}
+		fmt.Println("apcm-client: published")
+	case "load":
+		if len(args) != 2 {
+			usage()
+		}
+		f, err := os.Open(args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		events, err := trace.ReadEvents(f)
+		f.Close()
+		if err != nil {
+			fatal("reading %s: %v", args[1], err)
+		}
+		start := time.Now()
+		for _, ev := range events {
+			if err := c.Publish(ev); err != nil {
+				fatal("publish: %v", err)
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("apcm-client: published %d events in %s (%.0f events/s submitted)\n",
+			len(events), el.Round(time.Millisecond), float64(len(events))/el.Seconds())
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  apcm-client [-addr host:port] [-attrs a,b,c] sub  '<expression>'
+  apcm-client [-addr host:port] [-attrs a,b,c] pub  '<event>'
+  apcm-client [-addr host:port]                load <trace.events>`)
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "apcm-client: "+format+"\n", args...)
+	os.Exit(1)
+}

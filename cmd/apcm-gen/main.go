@@ -1,0 +1,89 @@
+// Command apcm-gen generates BEGen-style synthetic workloads and writes
+// them as binary traces replayable by the harness and the broker client.
+//
+// Usage:
+//
+//	apcm-gen -out /tmp/w1 -n 100000 -events 10000 \
+//	    -attrs 400 -card 1000 -preds 5:9 -eq 0.85 -range 0.10 -in 0.05 \
+//	    -match 0.01 -pool 40 -seed 7
+//
+// writes /tmp/w1.subs (expressions) and /tmp/w1.events (events).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/streammatch/apcm/trace"
+	"github.com/streammatch/apcm/workload"
+)
+
+func main() {
+	p := workload.Default()
+	var (
+		out    = flag.String("out", "workload", "output file prefix")
+		n      = flag.Int("n", 100000, "number of expressions")
+		events = flag.Int("events", 10000, "number of events")
+		preds  = flag.String("preds", "5:9", "predicates per expression, min:max")
+	)
+	flag.Int64Var(&p.Seed, "seed", p.Seed, "generator seed")
+	flag.IntVar(&p.NumAttrs, "attrs", p.NumAttrs, "number of attributes")
+	flag.IntVar(&p.Cardinality, "card", p.Cardinality, "domain cardinality per attribute")
+	flag.Float64Var(&p.WEquality, "eq", p.WEquality, "equality predicate weight")
+	flag.Float64Var(&p.WRange, "range", p.WRange, "range predicate weight")
+	flag.Float64Var(&p.WMembership, "in", p.WMembership, "membership predicate weight")
+	flag.Float64Var(&p.WNegated, "neg", p.WNegated, "negated predicate weight")
+	flag.Float64Var(&p.RangeWidthFrac, "width", p.RangeWidthFrac, "range width as a fraction of the domain")
+	flag.IntVar(&p.InSetSize, "setsize", p.InSetSize, "IN/NOT IN set size")
+	flag.IntVar(&p.PredPoolSize, "pool", p.PredPoolSize, "predicate pool size per attribute (0 = fresh predicates)")
+	flag.Float64Var(&p.ValueZipf, "vzipf", p.ValueZipf, "value Zipf s parameter (0 = uniform, else > 1)")
+	flag.Float64Var(&p.AttrZipf, "azipf", p.AttrZipf, "attribute Zipf s parameter (0 = uniform, else > 1)")
+	flag.IntVar(&p.EventAttrs, "eventattrs", p.EventAttrs, "attributes per event")
+	flag.Float64Var(&p.MatchFraction, "match", p.MatchFraction, "planted match fraction")
+	flag.Parse()
+
+	if _, err := fmt.Sscanf(strings.ReplaceAll(*preds, ":", " "), "%d %d", &p.PredsMin, &p.PredsMax); err != nil {
+		fatal("bad -preds %q (want min:max): %v", *preds, err)
+	}
+
+	g, err := workload.New(p)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("apcm-gen: generating %d expressions, %d events (seed %d)\n", *n, *events, p.Seed)
+	xs := g.Expressions(*n)
+	evs := g.Events(*events)
+
+	subsPath := *out + ".subs"
+	f, err := os.Create(subsPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := trace.WriteExpressions(f, xs); err != nil {
+		fatal("writing %s: %v", subsPath, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+
+	evPath := *out + ".events"
+	f, err = os.Create(evPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := trace.WriteEvents(f, evs); err != nil {
+		fatal("writing %s: %v", evPath, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("apcm-gen: wrote %s and %s\n", subsPath, evPath)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "apcm-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command apcm-verify cross-validates every matching algorithm on a
+// workload: all five engines index the same subscriptions, every event
+// is matched by each, and any divergence from the reference semantics is
+// reported with a reproducer. Use it after modifying matcher internals,
+// or to validate a workload trace before a long benchmark run.
+//
+//	apcm-verify -n 20000 -events 5000 -seed 3
+//	apcm-verify -subs w1.subs -eventsfile w1.events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+	"github.com/streammatch/apcm/workload"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 10000, "number of generated subscriptions")
+		nev        = flag.Int("events", 2000, "number of generated events")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		subsPath   = flag.String("subs", "", "subscription trace (overrides generation)")
+		eventsPath = flag.String("eventsfile", "", "event trace (overrides generation)")
+		negated    = flag.Float64("neg", 0.05, "negated predicate weight for generated workloads")
+		oracle     = flag.Bool("oracle", false, "additionally verify against the O(n·m) reference semantics (slow)")
+	)
+	flag.Parse()
+
+	xs, events, err := loadWorkload(*subsPath, *eventsPath, *n, *nev, *seed, *negated)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("apcm-verify: %d subscriptions, %d events\n", len(xs), len(events))
+
+	engines := make(map[apcm.Algorithm]*apcm.Engine)
+	for _, alg := range apcm.Algorithms() {
+		e, err := apcm.New(apcm.Options{Algorithm: alg})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer e.Close()
+		start := time.Now()
+		for _, x := range xs {
+			if err := e.Subscribe(x); err != nil {
+				fatal("%v: subscribe: %v", alg, err)
+			}
+		}
+		e.Prepare()
+		fmt.Printf("  built %-8s in %v\n", alg, time.Since(start).Round(time.Millisecond))
+		engines[alg] = e
+	}
+
+	// Scan is the in-suite reference: simple enough to trust, and -oracle
+	// re-derives it from first principles for belt and braces.
+	reference := apcm.Scan
+	mismatches := 0
+	start := time.Now()
+	for i, ev := range events {
+		want := canon(engines[reference].Match(ev))
+		if *oracle {
+			direct := oracleMatch(xs, ev)
+			if !equal(want, direct) {
+				mismatches++
+				fmt.Printf("MISMATCH event %d: %s itself diverges from reference semantics\n  event: %s\n", i, reference, ev)
+				continue
+			}
+		}
+		for _, alg := range apcm.Algorithms() {
+			if alg == reference {
+				continue
+			}
+			got := canon(engines[alg].Match(ev))
+			if !equal(got, want) {
+				mismatches++
+				fmt.Printf("MISMATCH event %d: %s disagrees with %s\n  event: %s\n  %s: %v\n  %s: %v\n",
+					i, alg, reference, ev, alg, got, reference, want)
+				if mismatches >= 10 {
+					fatal("too many mismatches; aborting")
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if mismatches > 0 {
+		fatal("%d mismatches found", mismatches)
+	}
+	fmt.Printf("apcm-verify: OK — %d algorithms agree on all %d events (%v)\n",
+		len(engines), len(events), elapsed.Round(time.Millisecond))
+}
+
+func loadWorkload(subsPath, eventsPath string, n, nev int, seed int64, negated float64) ([]*expr.Expression, []*expr.Event, error) {
+	if (subsPath == "") != (eventsPath == "") {
+		return nil, nil, fmt.Errorf("provide both -subs and -eventsfile, or neither")
+	}
+	if subsPath != "" {
+		f, err := os.Open(subsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		xs, err := trace.ReadExpressions(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading %s: %w", subsPath, err)
+		}
+		ef, err := os.Open(eventsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ef.Close()
+		events, err := trace.ReadEvents(ef)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading %s: %w", eventsPath, err)
+		}
+		return xs, events, nil
+	}
+	p := workload.Default()
+	p.Seed = seed
+	p.WNegated = negated
+	p.WEquality -= negated
+	g, err := workload.New(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.Expressions(n), g.Events(nev), nil
+}
+
+func oracleMatch(xs []*expr.Expression, ev *expr.Event) []expr.ID {
+	var out []expr.ID
+	for _, x := range xs {
+		if x.MatchesEvent(ev) {
+			out = append(out, x.ID)
+		}
+	}
+	return canon(out)
+}
+
+func canon(ids []expr.ID) []expr.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equal(a, b []expr.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "apcm-verify: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+package expr
+
+// Subscription covering. In content-based pub/sub, subscription A
+// "covers" B when every event matching B also matches A; brokers use
+// covering to avoid indexing subsumed subscriptions and to prune
+// forwarding tables. Covers implements a sound (never wrongly true),
+// conservative test on top of the normalizer: both expressions are
+// canonicalised, and each attribute's allowed value set is compared.
+
+// enumerationLimit bounds how many interval values the subset test will
+// enumerate against a finite set before giving the conservative answer.
+const enumerationLimit = 64
+
+// Covers reports whether a covers b: every event that matches b is
+// guaranteed to match a. The test is sound but conservative — a false
+// result does not prove non-coverage (e.g. very wide intervals against
+// large IN sets are not enumerated).
+func Covers(a, b *Expression) bool {
+	na, aSat := a.Normalize()
+	nb, bSat := b.Normalize()
+	if !bSat {
+		// b never matches anything, so it is vacuously covered.
+		return true
+	}
+	if !aSat {
+		return false
+	}
+	ca := constraintsOf(na)
+	cb := constraintsOf(nb)
+	// Every attribute a constrains must be at least as constrained in b.
+	for attr, ac := range ca {
+		bc, ok := cb[attr]
+		if !ok {
+			// b admits events lacking this attribute; a does not.
+			return false
+		}
+		if !covers(ac, bc) {
+			return false
+		}
+	}
+	return true
+}
+
+// constraint is one attribute's allowed value set in canonical form:
+// either an explicit finite set, or an interval minus exclusions.
+type constraint struct {
+	set      []Value // non-nil: allowed values, sorted
+	lo, hi   Value   // used when set == nil
+	excluded []Value // sorted; only when set == nil
+}
+
+// constraintsOf reads the canonical per-attribute constraints off a
+// normalized expression (at most one positive predicate plus one
+// exclusion predicate per attribute).
+func constraintsOf(x *Expression) map[AttrID]constraint {
+	out := make(map[AttrID]constraint)
+	for i := 0; i < len(x.Preds); {
+		attr := x.Preds[i].Attr
+		j := i
+		c := constraint{lo: MinValue, hi: MaxValue}
+		for ; j < len(x.Preds) && x.Preds[j].Attr == attr; j++ {
+			p := &x.Preds[j]
+			switch p.Op {
+			case EQ:
+				c.lo, c.hi = p.Lo, p.Lo
+			case Between:
+				c.lo, c.hi = p.Lo, p.Hi
+			case In:
+				c.set = p.Set
+			case NE:
+				c.excluded = []Value{p.Lo}
+			case NotIn:
+				c.excluded = p.Set
+			}
+		}
+		out[attr] = c
+		i = j
+	}
+	return out
+}
+
+// allows reports whether the constraint admits v.
+func (c constraint) allows(v Value) bool {
+	if c.set != nil {
+		return setContains(c.set, v)
+	}
+	return v >= c.lo && v <= c.hi && !setContains(c.excluded, v)
+}
+
+// covers reports whether every value allowed by b is allowed by a.
+func covers(a, b constraint) bool {
+	if b.set != nil {
+		for _, v := range b.set {
+			if !a.allows(v) {
+				return false
+			}
+		}
+		return true
+	}
+	// b is an interval minus exclusions.
+	if a.set != nil {
+		// Enumerate b only when it is small enough; otherwise answer
+		// conservatively.
+		width := int64(b.hi) - int64(b.lo) + 1
+		if width > enumerationLimit {
+			return false
+		}
+		for v := b.lo; ; v++ {
+			if !setContains(b.excluded, v) && !setContains(a.set, v) {
+				return false
+			}
+			if v == b.hi {
+				break
+			}
+		}
+		return true
+	}
+	// Interval vs interval: b's range must nest inside a's, and every
+	// value a excludes must be unreachable in b.
+	if b.lo < a.lo || b.hi > a.hi {
+		return false
+	}
+	for _, v := range a.excluded {
+		if v >= b.lo && v <= b.hi && !setContains(b.excluded, v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoversFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Expression
+		want bool
+	}{
+		{"identical", MustNew(1, Eq(1, 5)), MustNew(2, Eq(1, 5)), true},
+		{"wider interval covers narrower", MustNew(1, Rng(1, 0, 100)), MustNew(2, Rng(1, 10, 20)), true},
+		{"narrower does not cover wider", MustNew(1, Rng(1, 10, 20)), MustNew(2, Rng(1, 0, 100)), false},
+		{"interval covers point", MustNew(1, Rng(1, 0, 100)), MustNew(2, Eq(1, 50)), true},
+		{"interval covers subset IN", MustNew(1, Rng(1, 0, 100)), MustNew(2, Any(1, 5, 50, 99)), true},
+		{"interval misses IN element", MustNew(1, Rng(1, 0, 100)), MustNew(2, Any(1, 5, 101)), false},
+		{"superset IN covers subset IN", MustNew(1, Any(1, 1, 2, 3)), MustNew(2, Any(1, 1, 3)), true},
+		{"subset IN does not cover superset", MustNew(1, Any(1, 1, 3)), MustNew(2, Any(1, 1, 2, 3)), false},
+		{"fewer attrs cover more attrs", MustNew(1, Eq(1, 5)), MustNew(2, Eq(1, 5), Eq(2, 7)), true},
+		{"more attrs do not cover fewer", MustNew(1, Eq(1, 5), Eq(2, 7)), MustNew(2, Eq(1, 5)), false},
+		{"exclusion covered by narrower b", MustNew(1, Ne(1, 5)), MustNew(2, Rng(1, 10, 20)), true},
+		{"b reaches the excluded value", MustNew(1, Ne(1, 5)), MustNew(2, Rng(1, 0, 20)), false},
+		{"b excludes it too", MustNew(1, Ne(1, 5)), MustNew(2, Rng(1, 0, 20), Ne(1, 5)), true},
+		{"unsat b vacuously covered", MustNew(1, Eq(1, 5)), MustNew(2, Eq(2, 1), Eq(2, 2)), true},
+		{"unsat a covers nothing", MustNew(1, Eq(1, 1), Eq(1, 2)), MustNew(2, Eq(1, 1)), false},
+		{"IN covers small interval", MustNew(1, Any(1, 1, 2, 3, 4, 5)), MustNew(2, Rng(1, 2, 4)), true},
+		{"IN misses part of interval", MustNew(1, Any(1, 1, 2, 4, 5)), MustNew(2, Rng(1, 2, 4)), false},
+		{"redundant b predicates", MustNew(1, Rng(1, 0, 50)), MustNew(2, Ge(1, 10), Le(1, 20), Ne(1, 60)), true},
+	}
+	for _, c := range cases {
+		if got := Covers(c.a, c.b); got != c.want {
+			t.Errorf("%s: Covers(%s, %s) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoversConservativeOnWideEnumeration(t *testing.T) {
+	// A huge interval against an IN set is not enumerated; the answer
+	// must be the conservative false, never a wrong true.
+	a := MustNew(1, Any(1, 1, 2, 3))
+	b := MustNew(2, Rng(1, 0, 1_000_000))
+	if Covers(a, b) {
+		t.Fatal("wide-interval enumeration produced a wrong true")
+	}
+}
+
+// TestPropCoversIsSound is the load-bearing property: whenever Covers
+// says true, every matching event of b must match a, verified
+// exhaustively over a small space.
+func TestPropCoversIsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Expression {
+			preds := make([]Predicate, rng.Intn(3)+1)
+			for i := range preds {
+				preds[i] = randomPredicate(rng, 3, 8)
+			}
+			x, err := New(1, preds...)
+			if err != nil {
+				return nil
+			}
+			return x
+		}
+		a, b := mk(), mk()
+		if a == nil || b == nil {
+			return false
+		}
+		if !Covers(a, b) {
+			return true // conservative negatives are always allowed
+		}
+		for a0 := -1; a0 < 8; a0++ {
+			for a1 := -1; a1 < 8; a1++ {
+				for a2 := -1; a2 < 8; a2++ {
+					var pairs []Pair
+					if a0 >= 0 {
+						pairs = append(pairs, P(0, Value(a0)))
+					}
+					if a1 >= 0 {
+						pairs = append(pairs, P(1, Value(a1)))
+					}
+					if a2 >= 0 {
+						pairs = append(pairs, P(2, Value(a2)))
+					}
+					if len(pairs) == 0 {
+						continue
+					}
+					ev := MustEvent(pairs...)
+					if b.MatchesEvent(ev) && !a.MatchesEvent(ev) {
+						t.Logf("seed %d: Covers(%s, %s) true but %s matches only b", seed, a, b, ev)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropCoversReflexive: every satisfiable expression covers itself.
+func TestPropCoversReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		preds := make([]Predicate, rng.Intn(4)+1)
+		for i := range preds {
+			preds[i] = randomPredicate(rng, 4, 10)
+		}
+		x, err := New(1, preds...)
+		if err != nil {
+			return false
+		}
+		if _, sat := x.Normalize(); !sat {
+			return true
+		}
+		// In sets wider than the enumeration limit cannot occur in this
+		// small domain, so reflexivity must hold exactly.
+		return Covers(x, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

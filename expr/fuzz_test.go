@@ -1,0 +1,135 @@
+package expr
+
+import (
+	"testing"
+)
+
+// Fuzz targets. Their seed corpora run on every `go test`; use
+// `go test -fuzz FuzzDecodeExpression ./expr` for continuous fuzzing.
+
+func FuzzDecodeExpression(f *testing.F) {
+	for _, x := range []*Expression{
+		MustNew(1, Eq(1, 5)),
+		MustNew(1<<40, Rng(3, -100, 100), Any(2, 1, 5, 9), Ne(7, 0)),
+		MustNew(7, None(0, MinValue, MaxValue), Le(1, 0)),
+	} {
+		f.Add(AppendExpression(nil, x))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, n, err := DecodeExpression(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Decoded expressions must be valid and re-encode losslessly.
+		for i := range x.Preds {
+			if verr := x.Preds[i].Validate(); verr != nil {
+				t.Fatalf("decoder produced invalid predicate: %v", verr)
+			}
+		}
+		re := AppendExpression(nil, x)
+		back, m, err := DecodeExpression(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m != len(re) || back.ID != x.ID || len(back.Preds) != len(x.Preds) {
+			t.Fatal("re-encode not lossless")
+		}
+		for i := range x.Preds {
+			if !back.Preds[i].Equal(&x.Preds[i]) {
+				t.Fatalf("predicate %d changed across re-encode", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeEvent(f *testing.F) {
+	for _, e := range []*Event{
+		MustEvent(P(0, 0)),
+		MustEvent(P(1, -5), P(3, 0), P(70000, 12345)),
+	} {
+		f.Add(AppendEvent(nil, e))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Pairs must be sorted and unique.
+		pairs := e.Pairs()
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Attr <= pairs[i-1].Attr {
+				t.Fatal("decoder produced unsorted or duplicate attributes")
+			}
+		}
+		re := AppendEvent(nil, e)
+		back, _, err := DecodeEvent(re)
+		if err != nil || back.String() != e.String() {
+			t.Fatalf("re-encode not lossless: %v", err)
+		}
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add("price <= 500 and brand in {3, 7}")
+	f.Add("x = 1 and y != 2 and z between 3 9 and w not in {1, 2}")
+	f.Add("a >= -5")
+	f.Add("x in {}")
+	f.Add("x = 99999999999999999999")
+	f.Add("&& || !")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		s := NewSchema()
+		x, err := Parse(s, 1, text)
+		if err != nil {
+			return
+		}
+		// Anything that parses must format and re-parse to an equivalent
+		// expression.
+		back, err := Parse(s, 1, x.Format(s))
+		if err != nil {
+			t.Fatalf("formatted output %q does not re-parse: %v", x.Format(s), err)
+		}
+		if len(back.Preds) != len(x.Preds) {
+			t.Fatalf("re-parse changed arity: %q", text)
+		}
+		for i := range x.Preds {
+			if !back.Preds[i].Equal(&x.Preds[i]) {
+				t.Fatalf("re-parse changed predicate %d of %q", i, text)
+			}
+		}
+	})
+}
+
+func FuzzParseEvent(f *testing.F) {
+	f.Add("price=300, brand=7")
+	f.Add("a=1")
+	f.Add("a=1, a=2")
+	f.Add("=,=,=")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		s := NewSchema()
+		e, err := ParseEvent(s, text)
+		if err != nil {
+			return
+		}
+		back, err := ParseEvent(s, e.Format(s))
+		if err != nil {
+			t.Fatalf("formatted event %q does not re-parse: %v", e.Format(s), err)
+		}
+		if back.String() != e.String() {
+			t.Fatalf("re-parse changed event: %q", text)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON codec. The JSON forms are self-describing and intended for
+// configuration files, HTTP APIs and debugging; the binary codec in
+// marshal.go is the performance path.
+//
+//	predicate  := {"attr": 3, "op": "<=", "value": 5}
+//	            | {"attr": 3, "op": "between", "lo": 1, "hi": 9}
+//	            | {"attr": 3, "op": "in", "set": [1, 2, 3]}
+//	expression := {"id": 7, "preds": [predicate, ...]}
+//	event      := {"pairs": [{"attr": 3, "val": 5}, ...]}
+
+type predicateJSON struct {
+	Attr  AttrID  `json:"attr"`
+	Op    string  `json:"op"`
+	Value *Value  `json:"value,omitempty"`
+	Lo    *Value  `json:"lo,omitempty"`
+	Hi    *Value  `json:"hi,omitempty"`
+	Set   []Value `json:"set,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p Predicate) MarshalJSON() ([]byte, error) {
+	out := predicateJSON{Attr: p.Attr, Op: p.Op.String()}
+	switch p.Op {
+	case Between:
+		lo, hi := p.Lo, p.Hi
+		out.Lo, out.Hi = &lo, &hi
+	case In, NotIn:
+		out.Set = p.Set
+	default:
+		v := p.Lo
+		out.Value = &v
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The result is validated.
+func (p *Predicate) UnmarshalJSON(data []byte) error {
+	var in predicateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	op, err := parseOpName(in.Op)
+	if err != nil {
+		return err
+	}
+	out := Predicate{Attr: in.Attr, Op: op}
+	switch op {
+	case Between:
+		if in.Lo == nil || in.Hi == nil {
+			return fmt.Errorf("expr: between predicate needs lo and hi")
+		}
+		out.Lo, out.Hi = *in.Lo, *in.Hi
+	case In, NotIn:
+		if len(in.Set) == 0 {
+			return fmt.Errorf("expr: %s predicate needs a non-empty set", op)
+		}
+		out.Set = normalizeSet(in.Set)
+	default:
+		if in.Value == nil {
+			return fmt.Errorf("expr: %s predicate needs a value", op)
+		}
+		out.Lo = *in.Value
+		if op == EQ || op == NE {
+			out.Hi = out.Lo
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*p = out
+	return nil
+}
+
+func parseOpName(s string) (Op, error) {
+	for op := EQ; op < opEnd; op++ {
+		if opNames[op] == s {
+			return op, nil
+		}
+	}
+	if s == "==" {
+		return EQ, nil
+	}
+	return 0, fmt.Errorf("expr: unknown operator %q", s)
+}
+
+type expressionJSON struct {
+	ID    ID          `json:"id"`
+	Preds []Predicate `json:"preds"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (x *Expression) MarshalJSON() ([]byte, error) {
+	return json.Marshal(expressionJSON{ID: x.ID, Preds: x.Preds})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The result is validated and
+// its predicates sorted, as with New.
+func (x *Expression) UnmarshalJSON(data []byte) error {
+	var in expressionJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	nx, err := New(in.ID, in.Preds...)
+	if err != nil {
+		return err
+	}
+	*x = *nx
+	return nil
+}
+
+type eventJSON struct {
+	Pairs []Pair `json:"pairs"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e *Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{Pairs: e.pairs})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Pairs are sorted and
+// checked for duplicates, as with NewEvent.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var in eventJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	ne, err := NewEvent(in.Pairs...)
+	if err != nil {
+		return err
+	}
+	*e = *ne
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler for event pairs.
+func (p Pair) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Attr AttrID `json:"attr"`
+		Val  Value  `json:"val"`
+	}{p.Attr, p.Val})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for event pairs.
+func (p *Pair) UnmarshalJSON(data []byte) error {
+	var in struct {
+		Attr AttrID `json:"attr"`
+		Val  Value  `json:"val"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p.Attr, p.Val = in.Attr, in.Val
+	return nil
+}

@@ -1,0 +1,170 @@
+package expr
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredicateJSONRoundTrip(t *testing.T) {
+	preds := []Predicate{
+		Eq(1, 5), Ne(2, -3), Lt(3, 0), Le(4, 9), Gt(5, 9), Ge(6, 9),
+		Rng(7, -5, 5), Any(8, 3, 1, 2), None(9, 7),
+	}
+	for _, p := range preds {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.String(), err)
+		}
+		var back Predicate
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v (json: %s)", p.String(), err, data)
+		}
+		if !back.Equal(&p) {
+			t.Fatalf("round trip %s -> %s via %s", p.String(), back.String(), data)
+		}
+	}
+}
+
+func TestPredicateJSONShape(t *testing.T) {
+	data, err := json.Marshal(Le(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["attr"] != float64(3) || m["op"] != "<=" || m["value"] != float64(5) {
+		t.Fatalf("unexpected JSON shape: %s", data)
+	}
+	if _, ok := m["set"]; ok {
+		t.Fatalf("interval predicate should omit set: %s", data)
+	}
+}
+
+func TestPredicateJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"attr":1}`,                              // no op
+		`{"attr":1,"op":"~"}`,                     // unknown op
+		`{"attr":1,"op":"="}`,                     // missing value
+		`{"attr":1,"op":"between","lo":1}`,        // missing hi
+		`{"attr":1,"op":"between","lo":9,"hi":1}`, // empty interval
+		`{"attr":1,"op":"in"}`,                    // missing set
+		`{"attr":1,"op":"in","set":[]}`,           // empty set
+		`[1,2]`,                                   // wrong shape
+	}
+	for _, s := range bad {
+		var p Predicate
+		if err := json.Unmarshal([]byte(s), &p); err == nil {
+			t.Errorf("accepted %s as %s", s, p.String())
+		}
+	}
+}
+
+func TestPredicateJSONNormalizesSet(t *testing.T) {
+	var p Predicate
+	if err := json.Unmarshal([]byte(`{"attr":1,"op":"in","set":[5,2,5,1]}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	want := Any(1, 1, 2, 5)
+	if !p.Equal(&want) {
+		t.Fatalf("set not normalized: %s", p.String())
+	}
+}
+
+func TestExpressionJSONRoundTrip(t *testing.T) {
+	x := MustNew(42, Eq(3, 1), Rng(1, 2, 9), None(2, 7))
+	data, err := json.Marshal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Expression
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 42 || len(back.Preds) != 3 {
+		t.Fatalf("round trip lost structure: %s", &back)
+	}
+	// Predicates must come back sorted regardless of JSON order.
+	for i := 1; i < len(back.Preds); i++ {
+		if back.Preds[i].Attr < back.Preds[i-1].Attr {
+			t.Fatal("unmarshalled predicates not sorted")
+		}
+	}
+	if _, err := json.Marshal(&back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpressionJSONRejectsEmpty(t *testing.T) {
+	var x Expression
+	if err := json.Unmarshal([]byte(`{"id":1,"preds":[]}`), &x); err == nil {
+		t.Fatal("empty expression accepted")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	e := MustEvent(P(3, -1), P(1, 5))
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != e.String() {
+		t.Fatalf("round trip %s -> %s", e, &back)
+	}
+}
+
+func TestEventJSONRejectsDuplicates(t *testing.T) {
+	var e Event
+	s := `{"pairs":[{"attr":1,"val":2},{"attr":1,"val":3}]}`
+	if err := json.Unmarshal([]byte(s), &e); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+}
+
+func TestPropJSONPreservesMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		preds := make([]Predicate, rng.Intn(4)+1)
+		for i := range preds {
+			preds[i] = randomPredicate(rng, 8, 30)
+		}
+		x, err := New(1, preds...)
+		if err != nil {
+			return false
+		}
+		data, err := json.Marshal(x)
+		if err != nil {
+			return false
+		}
+		var back Expression
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			var pairs []Pair
+			for a := 0; a < 8; a++ {
+				if rng.Intn(2) == 0 {
+					pairs = append(pairs, P(AttrID(a), Value(rng.Intn(30))))
+				}
+			}
+			ev, err := NewEvent(pairs...)
+			if err != nil {
+				return false
+			}
+			if x.MatchesEvent(ev) != back.MatchesEvent(ev) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package expr
+
+// Normalization of conjunctions. Subscriptions written by hand or
+// produced by query rewriters often carry redundant predicates
+// ("price >= 100 and price >= 150", "brand in {1,2,3} and brand != 2").
+// Normalize canonicalises each attribute's constraints into at most two
+// predicates — one positive (EQ, Between or In) and one merged exclusion
+// (NE or NotIn) — detecting unsatisfiable conjunctions along the way.
+// Indexes cluster and compress canonical forms better, and unsatisfiable
+// subscriptions can be rejected instead of indexed.
+
+// Normalize returns a semantically equivalent expression with each
+// attribute's predicates canonicalised, and whether the expression is
+// satisfiable at all. An unsatisfiable expression (e.g. "a = 1 and
+// a = 2") returns (nil, false): it can never match any event.
+//
+// The normalized expression preserves attribute-presence semantics:
+// every attribute constrained by x remains constrained, so events
+// lacking it still fail to match.
+func (x *Expression) Normalize() (*Expression, bool) {
+	var out []Predicate
+	i := 0
+	for i < len(x.Preds) {
+		j := i
+		attr := x.Preds[i].Attr
+		for j < len(x.Preds) && x.Preds[j].Attr == attr {
+			j++
+		}
+		preds, ok := normalizeAttr(attr, x.Preds[i:j])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, preds...)
+		i = j
+	}
+	nx, err := New(x.ID, out...)
+	if err != nil {
+		// normalizeAttr emits only valid predicates and at least one per
+		// constrained attribute; a failure here is a bug.
+		panic("expr: normalization produced an invalid expression: " + err.Error())
+	}
+	return nx, true
+}
+
+// normalizeAttr canonicalises one attribute's conjunction.
+func normalizeAttr(attr AttrID, preds []Predicate) ([]Predicate, bool) {
+	lo, hi := MinValue, MaxValue
+	hadInterval := false
+	var sets [][]Value // In sets to intersect
+	var excluded []Value
+	for i := range preds {
+		p := &preds[i]
+		switch p.Op {
+		case EQ, LT, LE, GT, GE, Between:
+			hadInterval = true
+		}
+		switch p.Op {
+		case EQ:
+			lo, hi = maxV(lo, p.Lo), minV(hi, p.Lo)
+		case LT:
+			hi = minV(hi, p.Lo-1)
+		case LE:
+			hi = minV(hi, p.Lo)
+		case GT:
+			lo = maxV(lo, p.Lo+1)
+		case GE:
+			lo = maxV(lo, p.Lo)
+		case Between:
+			lo, hi = maxV(lo, p.Lo), minV(hi, p.Hi)
+		case In:
+			sets = append(sets, p.Set)
+		case NE:
+			excluded = append(excluded, p.Lo)
+		case NotIn:
+			excluded = append(excluded, p.Set...)
+		}
+	}
+	if lo > hi {
+		return nil, false
+	}
+	excluded = normalizeSet(excluded)
+
+	if len(sets) > 0 {
+		// The positive constraint is a set: intersect all sets, clip to
+		// the interval, remove exclusions.
+		set := intersectSets(sets)
+		kept := set[:0]
+		for _, v := range set {
+			if v >= lo && v <= hi && !setContains(excluded, v) {
+				kept = append(kept, v)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return nil, false
+		case 1:
+			return []Predicate{Eq(attr, kept[0])}, true
+		default:
+			cp := make([]Value, len(kept))
+			copy(cp, kept)
+			return []Predicate{{Attr: attr, Op: In, Set: cp}}, true
+		}
+	}
+
+	if !hadInterval {
+		// Pure exclusions: the merged NE/NotIn both excludes and keeps
+		// the attribute-presence requirement; adding a full-domain
+		// interval would only grow the expression.
+		if len(excluded) == 1 {
+			return []Predicate{Ne(attr, excluded[0])}, true
+		}
+		cp := make([]Value, len(excluded))
+		copy(cp, excluded)
+		return []Predicate{{Attr: attr, Op: NotIn, Set: cp}}, true
+	}
+
+	// The positive constraint is an interval. Exclusions outside it are
+	// redundant; an exclusion chain covering the whole interval is a
+	// contradiction; exclusions at the edges shrink it.
+	for {
+		shrunk := false
+		for lo <= hi && setContains(excluded, lo) {
+			lo++
+			shrunk = true
+		}
+		for hi >= lo && setContains(excluded, hi) {
+			hi--
+			shrunk = true
+		}
+		if lo > hi {
+			return nil, false
+		}
+		if !shrunk {
+			break
+		}
+	}
+	kept := excluded[:0]
+	for _, v := range excluded {
+		if v > lo && v < hi {
+			kept = append(kept, v)
+		}
+	}
+	excluded = kept
+
+	if lo == hi {
+		// Exclusions inside a point interval were handled by shrinking.
+		return []Predicate{Eq(attr, lo)}, true
+	}
+	var out []Predicate
+	if width := int64(hi) - int64(lo) + 1; len(excluded) > 0 && width == int64(len(excluded))+2 {
+		// Everything between the bounds is excluded except the bounds
+		// themselves: the constraint is exactly {lo, hi}.
+		return []Predicate{Any(attr, lo, hi)}, true
+	}
+	out = append(out, Rng(attr, lo, hi))
+	switch len(excluded) {
+	case 0:
+	case 1:
+		out = append(out, Ne(attr, excluded[0]))
+	default:
+		cp := make([]Value, len(excluded))
+		copy(cp, excluded)
+		out = append(out, Predicate{Attr: attr, Op: NotIn, Set: cp})
+	}
+	return out, true
+}
+
+// intersectSets intersects sorted duplicate-free sets.
+func intersectSets(sets [][]Value) []Value {
+	out := make([]Value, len(sets[0]))
+	copy(out, sets[0])
+	for _, s := range sets[1:] {
+		kept := out[:0]
+		for _, v := range out {
+			if setContains(s, v) {
+				kept = append(kept, v)
+			}
+		}
+		out = kept
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+func minV(a, b Value) Value {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxV(a, b Value) Value {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeMergesIntervals(t *testing.T) {
+	x := MustNew(1, Ge(1, 100), Ge(1, 150), Lt(1, 300))
+	nx, ok := x.Normalize()
+	if !ok {
+		t.Fatal("satisfiable expression reported unsatisfiable")
+	}
+	if len(nx.Preds) != 1 {
+		t.Fatalf("expected one merged predicate, got %s", nx)
+	}
+	p := nx.Preds[0]
+	if p.Op != Between || p.Lo != 150 || p.Hi != 299 {
+		t.Fatalf("merged to %s, want between 150 299", p.String())
+	}
+}
+
+func TestNormalizeCollapsesToEquality(t *testing.T) {
+	x := MustNew(1, Ge(1, 5), Le(1, 5))
+	nx, ok := x.Normalize()
+	if !ok || len(nx.Preds) != 1 || nx.Preds[0].Op != EQ || nx.Preds[0].Lo != 5 {
+		t.Fatalf("got %v ok=%v, want a = 5", nx, ok)
+	}
+}
+
+func TestNormalizeIntersectsSets(t *testing.T) {
+	x := MustNew(1, Any(1, 1, 2, 3, 4), Any(1, 3, 4, 5), Ne(1, 4))
+	nx, ok := x.Normalize()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if len(nx.Preds) != 1 || nx.Preds[0].Op != EQ || nx.Preds[0].Lo != 3 {
+		t.Fatalf("got %s, want a = 3", nx)
+	}
+}
+
+func TestNormalizeMergesExclusions(t *testing.T) {
+	x := MustNew(1, Ne(1, 5), None(1, 7, 9), Rng(1, 0, 100))
+	nx, ok := x.Normalize()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if len(nx.Preds) != 2 {
+		t.Fatalf("got %s, want interval + merged exclusion", nx)
+	}
+	if nx.Preds[1].Op != NotIn || len(nx.Preds[1].Set) != 3 {
+		t.Fatalf("exclusions not merged: %s", nx)
+	}
+}
+
+func TestNormalizeDropsRedundantExclusions(t *testing.T) {
+	// Exclusions outside the interval vanish entirely.
+	x := MustNew(1, Rng(1, 10, 20), Ne(1, 5), Ne(1, 99))
+	nx, ok := x.Normalize()
+	if !ok || len(nx.Preds) != 1 || nx.Preds[0].Op != Between {
+		t.Fatalf("got %v, want bare interval", nx)
+	}
+}
+
+func TestNormalizeShrinksEdges(t *testing.T) {
+	// Excluding the endpoints shrinks the interval instead of keeping a
+	// NotIn.
+	x := MustNew(1, Rng(1, 10, 20), Ne(1, 10), Ne(1, 20), Ne(1, 19))
+	nx, ok := x.Normalize()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	p := nx.Preds[0]
+	if p.Op != Between || p.Lo != 11 || p.Hi != 18 || len(nx.Preds) != 1 {
+		t.Fatalf("got %s, want between 11 18", nx)
+	}
+}
+
+func TestNormalizeDetectsUnsat(t *testing.T) {
+	cases := []*Expression{
+		MustNew(1, Eq(1, 1), Eq(1, 2)),
+		MustNew(1, Gt(1, 10), Lt(1, 5)),
+		MustNew(1, Any(1, 1, 2), Any(1, 3, 4)),
+		MustNew(1, Any(1, 5), Ne(1, 5)),
+		MustNew(1, Rng(1, 5, 6), Ne(1, 5), Ne(1, 6)),
+		MustNew(1, Eq(2, 1), Eq(1, 1), Eq(1, 2)), // unsat on one of two attrs
+	}
+	for i, x := range cases {
+		if nx, ok := x.Normalize(); ok {
+			t.Errorf("case %d: %s normalized to %s, want unsatisfiable", i, x, nx)
+		}
+	}
+}
+
+func TestNormalizeHolePatternBecomesSet(t *testing.T) {
+	// [5,8] minus {6,7} is exactly {5,8}.
+	x := MustNew(1, Rng(1, 5, 8), Ne(1, 6), Ne(1, 7))
+	nx, ok := x.Normalize()
+	if !ok || len(nx.Preds) != 1 || nx.Preds[0].Op != In {
+		t.Fatalf("got %v, want a in {5, 8}", nx)
+	}
+	if len(nx.Preds[0].Set) != 2 || nx.Preds[0].Set[0] != 5 || nx.Preds[0].Set[1] != 8 {
+		t.Fatalf("got %s", nx)
+	}
+}
+
+func TestNormalizePreservesPresenceRequirement(t *testing.T) {
+	// A full-domain interval must survive normalization: it still
+	// requires the attribute to be present.
+	x := MustNew(1, Ge(1, MinValue), Eq(2, 5))
+	nx, ok := x.Normalize()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	attrs := nx.Attrs()
+	if len(attrs) != 2 {
+		t.Fatalf("normalization dropped an attribute: %s", nx)
+	}
+	if nx.MatchesEvent(MustEvent(P(2, 5))) {
+		t.Fatal("normalized expression lost the presence requirement on attr 1")
+	}
+}
+
+func TestNormalizeMultiAttr(t *testing.T) {
+	x := MustNew(9, Ge(1, 5), Le(1, 9), Eq(2, 3), Ne(3, 0), Any(4, 1, 2))
+	nx, ok := x.Normalize()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if nx.ID != 9 {
+		t.Fatalf("ID changed: %d", nx.ID)
+	}
+	if len(nx.Attrs()) != 4 {
+		t.Fatalf("attribute set changed: %s", nx)
+	}
+}
+
+func TestPropNormalizePreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Small domain and few attributes maximise interactions.
+		preds := make([]Predicate, rng.Intn(6)+1)
+		for i := range preds {
+			preds[i] = randomPredicate(rng, 3, 8)
+		}
+		x, err := New(1, preds...)
+		if err != nil {
+			return false
+		}
+		nx, sat := x.Normalize()
+		// Exhaustively check every event over the small space (with and
+		// without each attribute, values 0..8).
+		var evs []*Event
+		for a0 := -1; a0 < 8; a0++ {
+			for a1 := -1; a1 < 8; a1++ {
+				for a2 := -1; a2 < 8; a2++ {
+					var pairs []Pair
+					if a0 >= 0 {
+						pairs = append(pairs, P(0, Value(a0)))
+					}
+					if a1 >= 0 {
+						pairs = append(pairs, P(1, Value(a1)))
+					}
+					if a2 >= 0 {
+						pairs = append(pairs, P(2, Value(a2)))
+					}
+					if len(pairs) == 0 {
+						continue
+					}
+					ev, err := NewEvent(pairs...)
+					if err != nil {
+						return false
+					}
+					evs = append(evs, ev)
+				}
+			}
+		}
+		for _, ev := range evs {
+			want := x.MatchesEvent(ev)
+			if !sat {
+				if want {
+					return false // declared unsat but matches
+				}
+				continue
+			}
+			if nx.MatchesEvent(ev) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNormalizeNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		preds := make([]Predicate, rng.Intn(8)+1)
+		for i := range preds {
+			preds[i] = randomPredicate(rng, 4, 20)
+		}
+		x, err := New(1, preds...)
+		if err != nil {
+			return false
+		}
+		nx, sat := x.Normalize()
+		if !sat {
+			return true
+		}
+		return len(nx.Preds) <= len(x.Preds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds an expression from the text syntax:
+//
+//	expr  := pred { "and" pred }
+//	pred  := name op int
+//	       | name "between" int int
+//	       | name "in" "{" int { "," int } "}"
+//	       | name "not" "in" "{" int { "," int } "}"
+//	op    := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Attribute names are interned into s. Example:
+//
+//	price <= 500 and brand in {3, 7} and rating >= 4
+func Parse(s *Schema, id ID, text string) (*Expression, error) {
+	toks, err := tokenize(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{schema: s, toks: toks}
+	preds, err := p.parseConjunction()
+	if err != nil {
+		return nil, fmt.Errorf("expr: parsing %q: %w", text, err)
+	}
+	return New(id, preds...)
+}
+
+// MustParse is Parse for tests and literals; it panics on invalid input.
+func MustParse(s *Schema, id ID, text string) *Expression {
+	x, err := Parse(s, id, text)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// ParseEvent builds an event from "name=int, name=int" text. Attribute
+// names are interned into s.
+func ParseEvent(s *Schema, text string) (*Event, error) {
+	var pairs []Pair
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("expr: bad event assignment %q", part)
+		}
+		name := strings.TrimSpace(part[:eq])
+		vs := strings.TrimSpace(part[eq+1:])
+		v, err := strconv.ParseInt(vs, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad value in %q: %w", part, err)
+		}
+		pairs = append(pairs, Pair{Attr: s.Attr(name), Val: Value(v)})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("expr: empty event %q", text)
+	}
+	return NewEvent(pairs...)
+}
+
+// MustParseEvent is ParseEvent for tests and literals; it panics on
+// invalid input.
+func MustParseEvent(s *Schema, text string) *Event {
+	e, err := ParseEvent(s, text)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type token struct {
+	kind byte // 'w' word, 'o' operator, 'n' number, '{', '}', ','
+	text string
+}
+
+func tokenize(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{' || c == '}' || c == ',':
+			toks = append(toks, token{kind: c, text: string(c)})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			j := i + 1
+			if j < len(text) && text[j] == '=' {
+				j++
+			}
+			op := text[i:j]
+			if op == "==" {
+				op = "="
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("bare '!' at offset %d", i)
+			}
+			toks = append(toks, token{kind: 'o', text: op})
+			i = j
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(text) && text[j] >= '0' && text[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: 'n', text: text[i:j]})
+			i = j
+		case isWordByte(c):
+			j := i + 1
+			for j < len(text) && isWordByte(text[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: 'w', text: text[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	schema *Schema
+	toks   []token
+	pos    int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(kind byte) (token, error) {
+	t, ok := p.next()
+	if !ok {
+		return token{}, fmt.Errorf("unexpected end of input (wanted %q)", kind)
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("unexpected token %q (wanted %q)", t.text, kind)
+	}
+	return t, nil
+}
+
+func (p *parser) parseConjunction() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		t, ok := p.peek()
+		if !ok {
+			return preds, nil
+		}
+		if t.kind != 'w' || !strings.EqualFold(t.text, "and") {
+			return nil, fmt.Errorf("unexpected token %q (wanted 'and')", t.text)
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	nameTok, err := p.expect('w')
+	if err != nil {
+		return Predicate{}, err
+	}
+	attr := p.schema.Attr(nameTok.text)
+
+	t, ok := p.next()
+	if !ok {
+		return Predicate{}, fmt.Errorf("predicate %q missing operator", nameTok.text)
+	}
+	switch {
+	case t.kind == 'o':
+		v, err := p.parseValue()
+		if err != nil {
+			return Predicate{}, err
+		}
+		switch t.text {
+		case "=":
+			return Eq(attr, v), nil
+		case "!=":
+			return Ne(attr, v), nil
+		case "<":
+			return Lt(attr, v), nil
+		case "<=":
+			return Le(attr, v), nil
+		case ">":
+			return Gt(attr, v), nil
+		case ">=":
+			return Ge(attr, v), nil
+		}
+		return Predicate{}, fmt.Errorf("unknown operator %q", t.text)
+	case t.kind == 'w' && strings.EqualFold(t.text, "between"):
+		lo, err := p.parseValue()
+		if err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.parseValue()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Rng(attr, lo, hi), nil
+	case t.kind == 'w' && strings.EqualFold(t.text, "in"):
+		set, err := p.parseSet()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Any(attr, set...), nil
+	case t.kind == 'w' && strings.EqualFold(t.text, "not"):
+		t2, ok := p.next()
+		if !ok || t2.kind != 'w' || !strings.EqualFold(t2.text, "in") {
+			return Predicate{}, fmt.Errorf("expected 'in' after 'not'")
+		}
+		set, err := p.parseSet()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return None(attr, set...), nil
+	}
+	return Predicate{}, fmt.Errorf("unexpected token %q after attribute %q", t.text, nameTok.text)
+}
+
+func (p *parser) parseValue() (Value, error) {
+	t, err := p.expect('n')
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", t.text, err)
+	}
+	return Value(v), nil
+}
+
+func (p *parser) parseSet() ([]Value, error) {
+	if _, err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	var vs []Value
+	for {
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, v)
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("unterminated set")
+		}
+		if t.kind == '}' {
+			return vs, nil
+		}
+		if t.kind != ',' {
+			return nil, fmt.Errorf("unexpected token %q in set", t.text)
+		}
+	}
+}

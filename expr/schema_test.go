@@ -1,0 +1,155 @@
+package expr
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSchemaInterning(t *testing.T) {
+	s := NewSchema()
+	a := s.Attr("price")
+	b := s.Attr("brand")
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if got := s.Attr("price"); got != a {
+		t.Fatal("re-interning changed the id")
+	}
+	if n, ok := s.Name(a); !ok || n != "price" {
+		t.Fatalf("Name(%d) = %q,%v", a, n, ok)
+	}
+	if _, ok := s.Name(99); ok {
+		t.Fatal("unknown id resolved")
+	}
+	if id, ok := s.Lookup("brand"); !ok || id != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup invented an attribute")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSchemaCardinality(t *testing.T) {
+	s := NewSchema()
+	id := s.DeclareAttr("color", 16)
+	if s.Cardinality(id) != 16 {
+		t.Fatalf("Cardinality = %d", s.Cardinality(id))
+	}
+	other := s.Attr("size")
+	if s.Cardinality(other) != 0 {
+		t.Fatal("undeclared cardinality should be 0")
+	}
+	if s.Cardinality(1000) != 0 {
+		t.Fatal("out-of-range cardinality should be 0")
+	}
+}
+
+func TestSchemaMustName(t *testing.T) {
+	s := NewSchema()
+	id := s.Attr("x")
+	if s.MustName(id) != "x" {
+		t.Fatal("MustName lost the name")
+	}
+	if s.MustName(42) != "a42" {
+		t.Fatalf("MustName fallback = %q", s.MustName(42))
+	}
+}
+
+func TestSchemaValueInterning(t *testing.T) {
+	s := NewSchema()
+	color := s.Attr("color")
+	size := s.Attr("size")
+
+	red := s.ValueOf(color, "red")
+	blue := s.ValueOf(color, "blue")
+	if red == blue {
+		t.Fatal("distinct values share an id")
+	}
+	if got := s.ValueOf(color, "red"); got != red {
+		t.Fatal("re-interning changed the value")
+	}
+	// Dictionaries are per attribute.
+	if s.ValueOf(size, "red") != 0 {
+		t.Fatal("per-attribute dictionaries should start at 0")
+	}
+	if n, ok := s.ValueName(color, red); !ok || n != "red" {
+		t.Fatalf("ValueName = %q,%v", n, ok)
+	}
+	if _, ok := s.ValueName(color, 99); ok {
+		t.Fatal("unknown value resolved")
+	}
+	if _, ok := s.ValueName(42, 0); ok {
+		t.Fatal("unknown attribute resolved")
+	}
+	if v, ok := s.LookupValue(color, "blue"); !ok || v != blue {
+		t.Fatal("LookupValue failed")
+	}
+	if _, ok := s.LookupValue(color, "green"); ok {
+		t.Fatal("LookupValue invented a value")
+	}
+	// End to end: matching over interned categorical values.
+	x := MustNew(1, Eq(color, red))
+	if !x.MatchesEvent(MustEvent(P(color, s.ValueOf(color, "red")))) {
+		t.Fatal("interned value did not match")
+	}
+	if x.MatchesEvent(MustEvent(P(color, blue))) {
+		t.Fatal("different interned value matched")
+	}
+}
+
+func TestSchemaValueInterningConcurrent(t *testing.T) {
+	s := NewSchema()
+	attr := s.Attr("x")
+	var wg sync.WaitGroup
+	vals := make([][]Value, 8)
+	names := []string{"a", "b", "c", "d"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals[g] = make([]Value, len(names))
+			for i, n := range names {
+				vals[g][i] = s.ValueOf(attr, n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range names {
+			if vals[g][i] != vals[0][i] {
+				t.Fatalf("goroutine %d interned %q differently", g, names[i])
+			}
+		}
+	}
+}
+
+func TestSchemaConcurrent(t *testing.T) {
+	s := NewSchema()
+	var wg sync.WaitGroup
+	names := []string{"a", "b", "c", "d", "e"}
+	ids := make([][]AttrID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]AttrID, len(names))
+			for i, n := range names {
+				ids[g][i] = s.Attr(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range names {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got different id for %q", g, names[i])
+			}
+		}
+	}
+	if s.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(names))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/streammatch/apcm
+
+go 1.22

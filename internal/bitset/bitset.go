@@ -1,0 +1,256 @@
+// Package bitset provides a dense, fixed-capacity bitset tuned for the
+// compressed match kernel: word-wide AND-NOT sweeps, early-zero detection,
+// and allocation-free iteration over set bits.
+//
+// The zero value of Bitset is an empty set of capacity zero. All binary
+// operations require operands of identical capacity; this is a deliberate
+// invariant (clusters compile all of their bitsets to one width) and is
+// checked only in debug builds of the callers, not here, to keep the hot
+// path branch-free.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	wordBits  = 64
+	wordShift = 6
+	wordMask  = wordBits - 1
+)
+
+// Bitset is a dense bitset backed by 64-bit words.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a Bitset with capacity for n bits, all zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Bitset{words: make([]uint64, wordsFor(n)), n: n}
+}
+
+// NewFull returns a Bitset with capacity n and all n bits set.
+func NewFull(n int) *Bitset {
+	b := New(n)
+	b.SetAll()
+	return b
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) >> wordShift }
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Words exposes the backing words. The final word's bits past Len are
+// always zero. Callers must not resize the slice.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.words[i>>wordShift] |= 1 << (uint(i) & wordMask)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	b.words[i>>wordShift] &^= 1 << (uint(i) & wordMask)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i>>wordShift]&(1<<(uint(i)&wordMask)) != 0
+}
+
+// SetAll sets every bit in [0, Len).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// ClearAll clears every bit.
+func (b *Bitset) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trim zeroes the unused high bits of the last word so that popcounts and
+// equality stay exact.
+func (b *Bitset) trim() {
+	if rem := uint(b.n) & wordMask; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// None reports whether no bits are set.
+func (b *Bitset) None() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool { return !b.None() }
+
+// And sets b = b AND other in place.
+func (b *Bitset) And(other *Bitset) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// AndNot sets b = b AND NOT other in place. This is the kernel of
+// compressed matching: killing every subscription that contains a failed
+// predicate. It returns true when b became empty, enabling early exit.
+func (b *Bitset) AndNot(other *Bitset) bool {
+	var acc uint64
+	bw, ow := b.words, other.words
+	for i := range bw {
+		bw[i] &^= ow[i]
+		acc |= bw[i]
+	}
+	return acc == 0
+}
+
+// AndUnion sets b = b AND (sat OR NOT mask) in place: a member survives
+// if it is satisfied, or if the mask says the constraint does not apply
+// to it. This is the compressed kernel's per-attribute step. It returns
+// true when b became empty, enabling early exit.
+func (b *Bitset) AndUnion(sat, mask *Bitset) bool {
+	var acc uint64
+	bw, sw, mw := b.words, sat.words, mask.words
+	for i := range bw {
+		bw[i] &= sw[i] | ^mw[i]
+		acc |= bw[i]
+	}
+	return acc == 0
+}
+
+// Or sets b = b OR other in place.
+func (b *Bitset) Or(other *Bitset) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// Xor sets b = b XOR other in place.
+func (b *Bitset) Xor(other *Bitset) {
+	for i := range b.words {
+		b.words[i] ^= other.words[i]
+	}
+	b.trim()
+}
+
+// CopyFrom overwrites b with other. Capacities must match.
+func (b *Bitset) CopyFrom(other *Bitset) {
+	copy(b.words, other.words)
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	nb := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(nb.words, b.words)
+	return nb
+}
+
+// Equal reports whether b and other hold the same bits and capacity.
+func (b *Bitset) Equal(other *Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// none exists. Use it for allocation-free iteration:
+//
+//	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) { ... }
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i >> wordShift
+	w := b.words[wi] >> (uint(i) & wordMask)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi<<wordShift + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// AppendSet appends the indexes of all set bits to dst and returns it.
+func (b *Bitset) AppendSet(dst []int) []int {
+	for wi, w := range b.words {
+		base := wi << wordShift
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false the iteration stops.
+func (b *Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		base := wi << wordShift
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set in compact {1, 5, 9} form (debug aid).
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// MemBytes returns the heap footprint of the backing array in bytes.
+func (b *Bitset) MemBytes() int { return len(b.words) * 8 }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/betree"
+)
+
+type kernel int32
+
+const (
+	kernelUncompressed kernel = iota
+	kernelCompressed
+)
+
+// clusterState pairs a cluster's compiled form with its adaptive state.
+// The compiled pointer is replaced wholesale (under Matcher.cmu) when the
+// pool mutates; mode and counters survive recompilation so a cluster's
+// learned behaviour is not forgotten on every update.
+type clusterState struct {
+	compiled *compiled
+
+	// mode is the kernel serving non-probe events.
+	mode atomic.Int32
+	// events counts matches served, for probe scheduling.
+	events atomic.Uint32
+
+	// mu guards the cost estimates below (probe path only).
+	mu    sync.Mutex
+	ewmaC float64 // compressed kernel cost estimate, ns/event
+	ewmaU float64 // uncompressed kernel cost estimate, ns/event
+}
+
+func newClusterState() *clusterState {
+	cs := &clusterState{}
+	// Optimistic start: serve compressed until the first probe says
+	// otherwise (the first event always probes).
+	cs.mode.Store(int32(kernelCompressed))
+	return cs
+}
+
+// matchAdaptive serves one event from cs: probe events run both kernels
+// and refresh the cost estimates; all others run the currently chosen
+// kernel.
+func (m *Matcher) matchAdaptive(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.Pool, e *expr.Event) []expr.ID {
+	n := cs.events.Add(1)
+	if n == 1 || n%uint32(m.cfg.ProbeInterval) == 0 {
+		return m.probe(cs, s, dst, p, e)
+	}
+	if kernel(cs.mode.Load()) == kernelCompressed {
+		dst, _ = cs.compiled.matchCompressed(&s.kern, e, dst)
+		return dst
+	}
+	dst, _ = scanPool(p.Exprs, e, dst)
+	return dst
+}
+
+// probe runs both kernels on e (returning the compressed kernel's
+// matches; the kernels agree by construction, which the equivalence
+// tests verify) and re-decides the cluster's kernel from the updated
+// estimates. Estimates are wall-clock nanoseconds: an abstract work-unit
+// model proved too easy to miscalibrate against real hardware (word-wide
+// bitset sweeps run far faster per "operation" than interpreted
+// predicate evaluations), and the probe runs both kernels back-to-back
+// on the same event anyway, so measuring them directly is both simpler
+// and honest. The EWMA absorbs timer noise on microsecond-scale runs.
+func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.Pool, e *expr.Event) []expr.ID {
+	startU := time.Now()
+	s.probeIDs, _ = scanPool(p.Exprs, e, s.probeIDs[:0])
+	costU := float64(time.Since(startU))
+
+	startC := time.Now()
+	dst, _ = cs.compiled.matchCompressed(&s.kern, e, dst)
+	costC := float64(time.Since(startC))
+
+	d := m.cfg.Decay
+	cs.mu.Lock()
+	if cs.ewmaC == 0 {
+		cs.ewmaC = costC
+	} else {
+		cs.ewmaC = d*cs.ewmaC + (1-d)*costC
+	}
+	if cs.ewmaU == 0 {
+		cs.ewmaU = costU
+	} else {
+		cs.ewmaU = d*cs.ewmaU + (1-d)*costU
+	}
+	// Hysteresis: leave the current kernel only when the other one is
+	// estimated meaningfully cheaper. Single-run wall-clock probes carry
+	// scheduler and cache noise; without a margin, clusters flap between
+	// kernels on microsecond-scale jitter.
+	const margin = 1.15
+	switch kernel(cs.mode.Load()) {
+	case kernelCompressed:
+		if cs.ewmaC > cs.ewmaU*margin {
+			cs.mode.Store(int32(kernelUncompressed))
+		}
+	default:
+		if cs.ewmaU > cs.ewmaC*margin {
+			cs.mode.Store(int32(kernelCompressed))
+		}
+	}
+	cs.mu.Unlock()
+	return dst
+}
+
+// Estimates reports a cluster-state snapshot for tests and diagnostics.
+func (cs *clusterState) estimates() (ewmaC, ewmaU float64, mode kernel) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.ewmaC, cs.ewmaU, kernel(cs.mode.Load())
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/betree"
+	"github.com/streammatch/apcm/internal/bitset"
+)
+
+// compiled is the compressed form of one BE-Tree pool. Three structures
+// carry the match:
+//
+//   - per-member attribute masks over a cluster-local attribute universe,
+//     giving a one-pass eligibility test ("does the event cover every
+//     attribute this member constrains?") that never touches attributes
+//     the event lacks;
+//   - per-attribute groups with an equality-union map (event value →
+//     bitset of members whose first predicate on the attribute is that
+//     equality — one hash lookup replaces evaluating every distinct
+//     equality predicate) plus dictionaries of distinct non-equality
+//     "first" predicates and of "strict" additional predicates (second
+//     and later predicates on the same attribute of one member);
+//   - membership bitsets per dictionary entry, combined word-wide.
+//
+// Compiled clusters support bounded incremental maintenance so that a
+// subscription update does not force a full recompilation: bitsets are
+// allocated with slack capacity and new members append into it
+// (tryAppend), while deletions set a reserved "tombstone" bit in the
+// member's attribute mask, which the eligibility pass can never cover
+// (tryTombstone). A cluster that falls more than one pool generation
+// behind, runs out of slack, grows a new attribute, or accumulates too
+// many tombstones is recompiled lazily on its next match instead.
+//
+// Mutation (tryAppend/tryTombstone) follows the matcher's write
+// contract: it must never run concurrently with matching.
+type compiled struct {
+	gen   uint64
+	n     int // member slots in use (live + tombstoned)
+	tombs int // tombstoned members
+	capN  int // member capacity of every bitset and of masks
+	words int // member-bitset words (capN/64), for cost accounting
+
+	ids     []expr.ID
+	idToIdx map[expr.ID]int32
+
+	// Cluster-local attribute universe. Local index nAttrs is reserved
+	// as the tombstone slot: no event attribute ever maps to it, so a
+	// mask with that bit set is never covered.
+	attrIdx map[expr.AttrID]int32
+	nAttrs  int
+	awords  int      // words per member attribute mask ((nAttrs+1+63)/64)
+	masks   []uint64 // capN × awords, flat
+
+	groups []attrGroup // indexed by local attribute index
+
+	// Dictionary indexes (canonical predicate key → entry position) are
+	// retained to support incremental appends.
+	firstIdx  []map[string]int
+	strictIdx []map[string]int
+
+	predSlots     int // Σ per-member predicates (live members)
+	distinctPreds int // Σ dictionary entries (incl. equality-union values)
+}
+
+// attrGroup holds one attribute's compiled predicates.
+type attrGroup struct {
+	// attrBits marks members with at least one predicate on the
+	// attribute; members outside it are unaffected by this group.
+	attrBits *bitset.Bitset
+	// eqUnion maps a value to the members whose first predicate on this
+	// attribute is equality with that value.
+	eqUnion map[expr.Value]*bitset.Bitset
+	// first holds the distinct non-equality first predicates.
+	first []dictEntry
+	// strict holds the distinct additional predicates; a member already
+	// counted in eqUnion/first dies if any of its strict predicates
+	// fails.
+	strict []dictEntry
+}
+
+// dictEntry is one distinct predicate and the members it belongs to.
+type dictEntry struct {
+	pred *expr.Predicate
+	bits *bitset.Bitset
+}
+
+// slackCapacity sizes bitsets with headroom for incremental appends.
+func slackCapacity(n int) int {
+	c := n + n/4 + 16
+	return (c + 63) &^ 63
+}
+
+// compile builds the compressed form of p at its current generation.
+func compile(p *betree.Pool) *compiled {
+	n := len(p.Exprs)
+	c := &compiled{
+		gen:     p.Gen,
+		capN:    slackCapacity(n),
+		ids:     make([]expr.ID, 0, n),
+		idToIdx: make(map[expr.ID]int32, n),
+		attrIdx: make(map[expr.AttrID]int32),
+	}
+	c.words = c.capN / 64
+
+	// Pass 1: the cluster-local attribute universe (+1 tombstone slot).
+	for _, x := range p.Exprs {
+		for i := range x.Preds {
+			a := x.Preds[i].Attr
+			if _, ok := c.attrIdx[a]; !ok {
+				c.attrIdx[a] = int32(c.nAttrs)
+				c.nAttrs++
+			}
+		}
+	}
+	c.awords = (c.nAttrs + 1 + 63) / 64
+	c.masks = make([]uint64, c.capN*c.awords)
+	c.groups = make([]attrGroup, c.nAttrs)
+	c.firstIdx = make([]map[string]int, c.nAttrs)
+	c.strictIdx = make([]map[string]int, c.nAttrs)
+
+	// Pass 2: members.
+	for _, x := range p.Exprs {
+		c.append(x)
+	}
+	return c
+}
+
+// append adds x as the next member. Every attribute of x must already be
+// in the cluster universe and a free slot must exist; compile guarantees
+// both, tryAppend checks them.
+func (c *compiled) append(x *expr.Expression) {
+	idx := c.n
+	c.n++
+	c.ids = append(c.ids, x.ID)
+	c.idToIdx[x.ID] = int32(idx)
+	mask := c.masks[idx*c.awords : (idx+1)*c.awords]
+	var key []byte
+
+	for j := range x.Preds {
+		pr := &x.Preds[j]
+		c.predSlots++
+		li := c.attrIdx[pr.Attr]
+		g := &c.groups[li]
+		if g.attrBits == nil {
+			g.attrBits = bitset.New(c.capN)
+		}
+		g.attrBits.Set(idx)
+		mask[li>>6] |= 1 << (uint(li) & 63)
+
+		// Predicates are attribute-sorted within an expression, so
+		// "first on this attribute" is "previous predicate differs".
+		isFirst := j == 0 || x.Preds[j-1].Attr != pr.Attr
+		switch {
+		case isFirst && pr.Op == expr.EQ:
+			if g.eqUnion == nil {
+				g.eqUnion = make(map[expr.Value]*bitset.Bitset)
+			}
+			u := g.eqUnion[pr.Lo]
+			if u == nil {
+				u = bitset.New(c.capN)
+				g.eqUnion[pr.Lo] = u
+				c.distinctPreds++
+			}
+			u.Set(idx)
+		case isFirst:
+			if c.firstIdx[li] == nil {
+				c.firstIdx[li] = make(map[string]int)
+			}
+			key = expr.AppendPredicate(key[:0], pr)
+			ei, ok := c.firstIdx[li][string(key)]
+			if !ok {
+				ei = len(g.first)
+				c.firstIdx[li][string(key)] = ei
+				g.first = append(g.first, dictEntry{pred: pr, bits: bitset.New(c.capN)})
+				c.distinctPreds++
+			}
+			g.first[ei].bits.Set(idx)
+		default:
+			if c.strictIdx[li] == nil {
+				c.strictIdx[li] = make(map[string]int)
+			}
+			key = expr.AppendPredicate(key[:0], pr)
+			ei, ok := c.strictIdx[li][string(key)]
+			if !ok {
+				ei = len(g.strict)
+				c.strictIdx[li][string(key)] = ei
+				g.strict = append(g.strict, dictEntry{pred: pr, bits: bitset.New(c.capN)})
+				c.distinctPreds++
+			}
+			g.strict[ei].bits.Set(idx)
+		}
+	}
+}
+
+// tryAppend incorporates a freshly inserted pool member without
+// recompiling. It succeeds only when this cluster is exactly one
+// generation behind (i.e. the insert is the only unseen change), slot
+// capacity remains, tombstones have not piled up, and the expression
+// introduces no new attribute. On success the cluster advances to the
+// pool's generation.
+func (c *compiled) tryAppend(p *betree.Pool, x *expr.Expression) bool {
+	if c.gen+1 != p.Gen || c.n >= c.capN || c.needsRebuild() {
+		return false
+	}
+	for i := range x.Preds {
+		if _, ok := c.attrIdx[x.Preds[i].Attr]; !ok {
+			return false
+		}
+	}
+	c.append(x)
+	c.gen = p.Gen
+	return true
+}
+
+// tryTombstone marks a deleted member dead without recompiling, by
+// setting the reserved tombstone bit in its attribute mask (which no
+// event can cover). Same generation discipline as tryAppend.
+func (c *compiled) tryTombstone(p *betree.Pool, id expr.ID) bool {
+	if c.gen+1 != p.Gen {
+		return false
+	}
+	idx, ok := c.idToIdx[id]
+	if !ok {
+		return false
+	}
+	tomb := c.nAttrs // reserved local slot
+	c.masks[int(idx)*c.awords+tomb>>6] |= 1 << (uint(tomb) & 63)
+	delete(c.idToIdx, id)
+	c.tombs++
+	c.gen = p.Gen
+	return true
+}
+
+// needsRebuild reports whether tombstones dominate the cluster; the
+// matcher recompiles such clusters on their next visit.
+func (c *compiled) needsRebuild() bool { return c.tombs*2 > c.n }
+
+// live returns the number of live members.
+func (c *compiled) live() int { return c.n - c.tombs }
+
+// memoryBytes estimates the cluster's heap footprint.
+func (c *compiled) memoryBytes() int64 {
+	var b int64
+	for gi := range c.groups {
+		g := &c.groups[gi]
+		if g.attrBits != nil {
+			b += int64(g.attrBits.MemBytes()) + 64
+		}
+		for _, u := range g.eqUnion {
+			b += int64(u.MemBytes()) + 16
+		}
+		for i := range g.first {
+			b += int64(g.first[i].bits.MemBytes()) + 24
+		}
+		for i := range g.strict {
+			b += int64(g.strict[i].bits.MemBytes()) + 24
+		}
+	}
+	b += int64(len(c.ids))*8 + int64(len(c.masks))*8
+	b += int64(len(c.attrIdx))*16 + int64(len(c.idToIdx))*24
+	return b
+}

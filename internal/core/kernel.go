@@ -1,0 +1,185 @@
+package core
+
+import (
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/bitset"
+)
+
+// Kernel cost model, in abstract work units. A predicate evaluation (a
+// Matches call: branchy switch, possible set probe) is weighted against
+// word-wide bitset operations; the adaptive policy only ever compares
+// the two kernels' totals, so relative weights are what matter.
+const (
+	costPredEval = 4 // one Predicate.Matches call (or one hash probe)
+	costWordOp   = 1 // one 64-bit word of bitset work
+	costExprLoop = 1 // per-expression loop overhead in the scan kernel
+)
+
+// kernelScratch holds reusable per-goroutine kernel state. Survivor and
+// satisfied bitsets must match the cluster's member count exactly, so
+// they are kept per size; distinct cluster sizes are few in practice.
+type kernelScratch struct {
+	bySize  map[int]*buffers
+	present []uint64   // attribute-present mask over the cluster-local universe
+	hits    []groupHit // present groups for the current event
+}
+
+type buffers struct {
+	alive *bitset.Bitset
+	sat   *bitset.Bitset
+}
+
+type groupHit struct {
+	local int32
+	val   expr.Value
+}
+
+func (s *kernelScratch) get(n int) *buffers {
+	if s.bySize == nil {
+		s.bySize = make(map[int]*buffers)
+	}
+	b := s.bySize[n]
+	if b == nil {
+		b = &buffers{alive: bitset.New(n), sat: bitset.New(n)}
+		s.bySize[n] = b
+	}
+	return b
+}
+
+// matchCompressed runs the compressed kernel:
+//
+//  1. Resolve the event's attributes against the cluster's local
+//     universe and build the present mask (touching only the event's
+//     ~tens of attributes, never the cluster's full dictionary).
+//  2. Eligibility: one masked word-compare per member kills everyone
+//     constraining an attribute the event lacks, without touching the
+//     absent groups themselves. Starting from the eligible set keeps the
+//     survivor population small, which lets the group loop exit early.
+//  3. Per present group: one equality-union hash probe plus evaluation
+//     of the distinct non-equality predicates yields the satisfied
+//     union; alive &= satisfied | ^attrBits. Failed strict predicates
+//     AND-NOT out individually.
+//
+// Returns the appended dst and the work units spent.
+func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
+	bufs := s.get(c.capN)
+	alive, sat := bufs.alive, bufs.sat
+	cost := 0
+
+	// Step 1: present mask and group hits.
+	if cap(s.present) < c.awords {
+		s.present = make([]uint64, c.awords)
+	}
+	present := s.present[:c.awords]
+	for i := range present {
+		present[i] = 0
+	}
+	s.hits = s.hits[:0]
+	for _, pair := range e.Pairs() {
+		li, ok := c.attrIdx[pair.Attr]
+		cost += costPredEval // hash probe
+		if !ok {
+			continue
+		}
+		present[li>>6] |= 1 << (uint(li) & 63)
+		s.hits = append(s.hits, groupHit{local: li, val: pair.Val})
+	}
+	if len(s.hits) == 0 {
+		return dst, cost
+	}
+
+	// Step 2: eligibility. A member survives iff its attribute mask is
+	// covered by the present mask. An empty eligible set exits at once,
+	// and a sparse one makes the group loop's early exit bite sooner.
+	alive.ClearAll()
+	aw := alive.Words()
+	cost += c.n * c.awords * costWordOp
+	anyAlive := false
+	for m := 0; m < c.n; m++ {
+		mask := c.masks[m*c.awords : (m+1)*c.awords]
+		ok := true
+		for w := range mask {
+			if mask[w]&^present[w] != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			aw[m>>6] |= 1 << (uint(m) & 63)
+			anyAlive = true
+		}
+	}
+	if !anyAlive {
+		return dst, cost
+	}
+
+	// Step 3: present groups.
+	for _, h := range s.hits {
+		g := &c.groups[h.local]
+		// Satisfied union: equality probe plus distinct non-equality
+		// first predicates.
+		haveSat := false
+		if g.eqUnion != nil {
+			cost += costPredEval
+			if u := g.eqUnion[h.val]; u != nil {
+				sat.CopyFrom(u)
+				haveSat = true
+				cost += c.words * costWordOp
+			}
+		}
+		if !haveSat {
+			sat.ClearAll()
+			cost += c.words * costWordOp
+		}
+		for ei := range g.first {
+			cost += costPredEval
+			if g.first[ei].pred.Matches(h.val) {
+				sat.Or(g.first[ei].bits)
+				cost += c.words * costWordOp
+			}
+		}
+		cost += c.words * costWordOp
+		if alive.AndUnion(sat, g.attrBits) {
+			return dst, cost
+		}
+		for ei := range g.strict {
+			cost += costPredEval
+			if !g.strict[ei].pred.Matches(h.val) {
+				cost += c.words * costWordOp
+				if alive.AndNot(g.strict[ei].bits) {
+					return dst, cost
+				}
+			}
+		}
+	}
+
+	alive.ForEach(func(i int) bool {
+		dst = append(dst, c.ids[i])
+		return true
+	})
+	return dst, cost
+}
+
+// scanPool runs the uncompressed kernel: short-circuiting interpretation
+// of every pooled expression. Returns the appended dst and the work
+// units spent.
+func scanPool(exprs []*expr.Expression, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
+	cost := 0
+	for _, x := range exprs {
+		cost += costExprLoop
+		matched := true
+		for j := range x.Preds {
+			cost += costPredEval
+			p := &x.Preds[j]
+			v, ok := e.Lookup(p.Attr)
+			if !ok || !p.Matches(v) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			dst = append(dst, x.ID)
+		}
+	}
+	return dst, cost
+}

@@ -1,0 +1,103 @@
+package counting
+
+import (
+	"testing"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/match"
+	"github.com/streammatch/apcm/internal/matchtest"
+)
+
+func TestConformance(t *testing.T) {
+	matchtest.RunConformance(t, func() match.Matcher { return New() })
+}
+
+func TestRebuildAfterHeavyDeletion(t *testing.T) {
+	m := New()
+	for id := expr.ID(1); id <= 100; id++ {
+		if err := m.Insert(expr.MustNew(id, expr.Eq(1, expr.Value(id%10)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := expr.ID(1); id <= 80; id++ {
+		if !m.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	if m.Size() != 20 {
+		t.Fatalf("Size = %d, want 20", m.Size())
+	}
+	// The rebuild must preserve matching for survivors.
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 5)))
+	want := map[expr.ID]bool{85: true, 95: true}
+	if len(got) != len(want) {
+		t.Fatalf("after rebuild got %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected match %d", id)
+		}
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	m := New()
+	if err := m.Insert(expr.MustNew(1, expr.Eq(1, 5))); err != nil {
+		t.Fatal(err)
+	}
+	// Force the epoch to the brink of wrap and match across it.
+	m.epoch = ^uint32(0) - 1
+	ev := expr.MustEvent(expr.P(1, 5))
+	for i := 0; i < 4; i++ {
+		if got := m.MatchAppend(nil, ev); len(got) != 1 {
+			t.Fatalf("iteration %d (epoch %d): got %v", i, m.epoch, got)
+		}
+	}
+	if m.epoch == 0 {
+		t.Fatal("epoch should never rest at 0")
+	}
+}
+
+func TestZeroTargetExpressions(t *testing.T) {
+	m := New()
+	// Expression consisting solely of non-indexable predicates.
+	if err := m.Insert(expr.MustNew(1, expr.Ne(1, 5), expr.None(2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ev   *expr.Event
+		want bool
+	}{
+		{expr.MustEvent(expr.P(1, 4), expr.P(2, 2)), true},
+		{expr.MustEvent(expr.P(1, 5), expr.P(2, 2)), false},
+		{expr.MustEvent(expr.P(1, 4), expr.P(2, 3)), false},
+		{expr.MustEvent(expr.P(1, 4)), false}, // attr 2 missing
+	}
+	for i, c := range cases {
+		got := m.MatchAppend(nil, c.ev)
+		if (len(got) == 1) != c.want {
+			t.Errorf("case %d: got %v, want match=%v", i, got, c.want)
+		}
+	}
+}
+
+func TestInPredicateCountsOnce(t *testing.T) {
+	m := New()
+	if err := m.Insert(expr.MustNew(1, expr.Any(1, 2, 3, 4))); err != nil {
+		t.Fatal(err)
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 3)))
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	m := New()
+	if err := m.Insert(expr.MustNew(1, expr.Eq(1, 1), expr.Rng(2, 1, 5))); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemBytes() <= 0 {
+		t.Fatal("MemBytes should be positive after insert")
+	}
+}

@@ -1,0 +1,194 @@
+// Package itree provides a dynamic interval index: a treap keyed by
+// interval low endpoint, augmented with subtree max-high, supporting
+// O(log n) expected insertion/deletion and output-sensitive stabbing
+// queries ("all intervals containing v"). The counting matcher uses one
+// tree per attribute to find satisfied range predicates.
+package itree
+
+import "github.com/streammatch/apcm/expr"
+
+// Item is an interval [Lo, Hi] carrying an opaque payload.
+type Item struct {
+	Lo, Hi  expr.Value
+	Payload uint64
+}
+
+type node struct {
+	item        Item
+	prio        uint64 // treap heap priority
+	maxHi       expr.Value
+	left, right *node
+}
+
+// Tree is a treap-based interval index. The zero value is an empty tree.
+// Tree is not safe for concurrent mutation.
+type Tree struct {
+	root *node
+	size int
+	// rngState drives deterministic treap priorities (xorshift64*), so
+	// tree shape is reproducible for a given insertion sequence.
+	rngState uint64
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{rngState: 0x9E3779B97F4A7C15} }
+
+func (t *Tree) nextPrio() uint64 {
+	x := t.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rngState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.size }
+
+func (n *node) recompute() {
+	n.maxHi = n.item.Hi
+	if n.left != nil && n.left.maxHi > n.maxHi {
+		n.maxHi = n.left.maxHi
+	}
+	if n.right != nil && n.right.maxHi > n.maxHi {
+		n.maxHi = n.right.maxHi
+	}
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.recompute()
+	l.recompute()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.recompute()
+	r.recompute()
+	return r
+}
+
+// Insert adds the interval. Duplicate intervals (same bounds and payload)
+// are stored independently.
+func (t *Tree) Insert(it Item) {
+	t.root = t.insert(t.root, it, t.nextPrio())
+	t.size++
+}
+
+func (t *Tree) insert(n *node, it Item, prio uint64) *node {
+	if n == nil {
+		nn := &node{item: it, prio: prio}
+		nn.recompute()
+		return nn
+	}
+	if less(it, n.item) {
+		n.left = t.insert(n.left, it, prio)
+		if n.left.prio > n.prio {
+			return rotateRight(n)
+		}
+	} else {
+		n.right = t.insert(n.right, it, prio)
+		if n.right.prio > n.prio {
+			return rotateLeft(n)
+		}
+	}
+	n.recompute()
+	return n
+}
+
+// less orders items by (Lo, Hi, Payload) so deletion can find an exact
+// occurrence.
+func less(a, b Item) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.Payload < b.Payload
+}
+
+// Delete removes one occurrence of the exact item, reporting whether it
+// was found.
+func (t *Tree) Delete(it Item) bool {
+	var found bool
+	t.root, found = t.delete(t.root, it)
+	if found {
+		t.size--
+	}
+	return found
+}
+
+func (t *Tree) delete(n *node, it Item) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var found bool
+	switch {
+	case it == n.item:
+		// Rotate the node down until it is a leaf, then drop it.
+		switch {
+		case n.left == nil && n.right == nil:
+			return nil, true
+		case n.left == nil:
+			n = rotateLeft(n)
+			n.left, found = t.delete(n.left, it)
+		case n.right == nil || n.left.prio > n.right.prio:
+			n = rotateRight(n)
+			n.right, found = t.delete(n.right, it)
+		default:
+			n = rotateLeft(n)
+			n.left, found = t.delete(n.left, it)
+		}
+	case less(it, n.item):
+		n.left, found = t.delete(n.left, it)
+	default:
+		n.right, found = t.delete(n.right, it)
+	}
+	n.recompute()
+	return n, found
+}
+
+// Stab calls fn for every stored interval containing v. fn returning
+// false stops the traversal.
+func (t *Tree) Stab(v expr.Value, fn func(Item) bool) {
+	stab(t.root, v, fn)
+}
+
+func stab(n *node, v expr.Value, fn func(Item) bool) bool {
+	if n == nil || n.maxHi < v {
+		return true
+	}
+	if !stab(n.left, v, fn) {
+		return false
+	}
+	if n.item.Lo <= v {
+		if v <= n.item.Hi && !fn(n.item) {
+			return false
+		}
+		return stab(n.right, v, fn)
+	}
+	// All right-subtree intervals start at or after n.item.Lo > v, so none
+	// can contain v.
+	return true
+}
+
+// All calls fn for every stored interval in key order (debug/tests).
+func (t *Tree) All(fn func(Item) bool) {
+	all(t.root, fn)
+}
+
+func all(n *node, fn func(Item) bool) bool {
+	if n == nil {
+		return true
+	}
+	return all(n.left, fn) && fn(n.item) && all(n.right, fn)
+}
+
+// MemBytes estimates the heap footprint of the tree's nodes.
+func (t *Tree) MemBytes() int64 { return int64(t.size) * 56 }

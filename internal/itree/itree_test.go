@@ -1,0 +1,265 @@
+package itree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/streammatch/apcm/expr"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	called := false
+	tr.Stab(5, func(Item) bool { called = true; return true })
+	if called {
+		t.Fatal("stab on empty tree visited an interval")
+	}
+	if tr.Delete(Item{1, 2, 3}) {
+		t.Fatal("delete on empty tree reported success")
+	}
+}
+
+func TestStabBasics(t *testing.T) {
+	tr := New()
+	items := []Item{
+		{0, 10, 1},
+		{5, 5, 2},
+		{-3, 2, 3},
+		{8, 20, 4},
+		{15, 15, 5},
+	}
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	cases := []struct {
+		v    expr.Value
+		want []uint64
+	}{
+		{5, []uint64{1, 2}},
+		{0, []uint64{1, 3}},
+		{-3, []uint64{3}},
+		{9, []uint64{1, 4}},
+		{15, []uint64{4, 5}},
+		{100, nil},
+		{-100, nil},
+	}
+	for _, c := range cases {
+		got := collect(tr, c.v)
+		if !equalSets(got, c.want) {
+			t.Errorf("Stab(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func collect(tr *Tree, v expr.Value) []uint64 {
+	var out []uint64
+	tr.Stab(v, func(it Item) bool { out = append(out, it.Payload); return true })
+	return out
+}
+
+func equalSets(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStabEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Insert(Item{0, 100, uint64(i)})
+	}
+	n := 0
+	tr.Stab(50, func(Item) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d intervals after stop at 3", n)
+	}
+}
+
+func TestDeleteExact(t *testing.T) {
+	tr := New()
+	tr.Insert(Item{1, 10, 7})
+	tr.Insert(Item{1, 10, 8}) // same bounds, different payload
+	if !tr.Delete(Item{1, 10, 7}) {
+		t.Fatal("delete of present item failed")
+	}
+	if tr.Delete(Item{1, 10, 7}) {
+		t.Fatal("double delete reported success")
+	}
+	got := collect(tr, 5)
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("after delete, Stab = %v", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDuplicateItemsCoexist(t *testing.T) {
+	tr := New()
+	tr.Insert(Item{2, 4, 9})
+	tr.Insert(Item{2, 4, 9})
+	if got := collect(tr, 3); len(got) != 2 {
+		t.Fatalf("expected 2 duplicates, got %v", got)
+	}
+	tr.Delete(Item{2, 4, 9})
+	if got := collect(tr, 3); len(got) != 1 {
+		t.Fatalf("expected 1 remaining duplicate, got %v", got)
+	}
+}
+
+// brute is the oracle: a plain slice.
+type brute []Item
+
+func (b brute) stab(v expr.Value) []uint64 {
+	var out []uint64
+	for _, it := range b {
+		if it.Lo <= v && v <= it.Hi {
+			out = append(out, it.Payload)
+		}
+	}
+	return out
+}
+
+func TestPropStabMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var b brute
+		for i := 0; i < 200; i++ {
+			lo := expr.Value(rng.Intn(100) - 50)
+			hi := lo + expr.Value(rng.Intn(30))
+			it := Item{lo, hi, uint64(i)}
+			tr.Insert(it)
+			b = append(b, it)
+		}
+		for v := expr.Value(-60); v <= 60; v += 7 {
+			if !equalSets(collect(tr, v), b.stab(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropInsertDeleteChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		live := map[Item]int{}
+		var items []Item
+		for step := 0; step < 500; step++ {
+			if rng.Intn(3) > 0 || len(items) == 0 {
+				it := Item{
+					Lo:      expr.Value(rng.Intn(50)),
+					Hi:      expr.Value(rng.Intn(50) + 50),
+					Payload: uint64(rng.Intn(20)),
+				}
+				tr.Insert(it)
+				live[it]++
+				items = append(items, it)
+			} else {
+				it := items[rng.Intn(len(items))]
+				want := live[it] > 0
+				got := tr.Delete(it)
+				if got != want {
+					return false
+				}
+				if want {
+					live[it]--
+				}
+			}
+		}
+		total := 0
+		for _, c := range live {
+			total += c
+		}
+		if tr.Len() != total {
+			return false
+		}
+		// Final stab checks against the live multiset.
+		var b brute
+		for it, c := range live {
+			for i := 0; i < c; i++ {
+				b = append(b, it)
+			}
+		}
+		for v := expr.Value(0); v < 100; v += 11 {
+			if !equalSets(collect(tr, v), b.stab(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllVisitsInKeyOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		lo := expr.Value(rng.Intn(1000))
+		tr.Insert(Item{lo, lo + expr.Value(rng.Intn(10)), uint64(i)})
+	}
+	var prev *Item
+	ok := true
+	tr.All(func(it Item) bool {
+		if prev != nil && less(it, *prev) {
+			ok = false
+			return false
+		}
+		v := it
+		prev = &v
+		return true
+	})
+	if !ok {
+		t.Fatal("All traversal out of key order")
+	}
+}
+
+func TestTreapShapeDeterministic(t *testing.T) {
+	build := func() []uint64 {
+		tr := New()
+		for i := 0; i < 100; i++ {
+			tr.Insert(Item{expr.Value(i % 10), expr.Value(i%10 + 5), uint64(i)})
+		}
+		return collect(tr, 7)
+	}
+	a, b := build(), a2(build)
+	if !equalSets(a, b) {
+		t.Fatal("identical builds returned different stab results")
+	}
+}
+
+func a2(f func() []uint64) []uint64 { return f() }
+
+func BenchmarkStab(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		lo := expr.Value(rng.Intn(1 << 20))
+		tr.Insert(Item{lo, lo + expr.Value(rng.Intn(1024)), uint64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Stab(expr.Value(i%(1<<20)), func(Item) bool { return true })
+	}
+}

@@ -1,0 +1,142 @@
+package kindex
+
+import (
+	"testing"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/match"
+	"github.com/streammatch/apcm/internal/matchtest"
+)
+
+func TestConformance(t *testing.T) {
+	matchtest.RunConformance(t, func() match.Matcher { return New() })
+}
+
+func TestPartitioningByEqualityCount(t *testing.T) {
+	m := New()
+	exprs := []*expr.Expression{
+		expr.MustNew(1, expr.Ge(1, 0)),                               // k=0
+		expr.MustNew(2, expr.Eq(1, 5)),                               // k=1
+		expr.MustNew(3, expr.Eq(1, 5), expr.Eq(2, 7)),                // k=2
+		expr.MustNew(4, expr.Eq(1, 5), expr.Eq(2, 7), expr.Lt(3, 9)), // k=2 + residue
+	}
+	for _, x := range exprs {
+		if err := m.Insert(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(m.parts) != 3 {
+		t.Fatalf("have %d partitions, want 3 (k=0,1,2)", len(m.parts))
+	}
+	if m.parts[0] == nil || m.parts[1] == nil || m.parts[2] == nil {
+		t.Fatal("missing partition")
+	}
+	if len(m.parts[2].subs) != 2 {
+		t.Fatalf("k=2 partition has %d subs", len(m.parts[2].subs))
+	}
+}
+
+func TestDuplicateEqualityPredicatesCountOnce(t *testing.T) {
+	m := New()
+	// Eq(1,5) twice is semantically one constraint; the subscription must
+	// land in k=1 and still match.
+	x := expr.MustNew(9, expr.Eq(1, 5), expr.Eq(1, 5))
+	if err := m.Insert(x); err != nil {
+		t.Fatal(err)
+	}
+	if m.parts[1] == nil || len(m.parts[1].subs) != 1 {
+		t.Fatal("duplicate equality predicates not deduplicated into k=1")
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 5)))
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("got %v, want [9]", got)
+	}
+}
+
+func TestContradictoryEqualitiesNeverMatch(t *testing.T) {
+	m := New()
+	// Eq(1,5) AND Eq(1,6) is unsatisfiable; the k-index must simply never
+	// produce it as a candidate.
+	if err := m.Insert(expr.MustNew(1, expr.Eq(1, 5), expr.Eq(1, 6))); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []expr.Value{5, 6, 7} {
+		if got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, v))); len(got) != 0 {
+			t.Fatalf("unsatisfiable expression matched at v=%d: %v", v, got)
+		}
+	}
+}
+
+func TestIntersectionSkipping(t *testing.T) {
+	// Large k=2 partition with interleaved slots forces the binary-search
+	// skip path.
+	m := New()
+	id := expr.ID(1)
+	for i := 0; i < 500; i++ {
+		// Half share Eq(1,1), half share Eq(2,2); only every 10th has both.
+		switch {
+		case i%10 == 0:
+			m.Insert(expr.MustNew(id, expr.Eq(1, 1), expr.Eq(2, 2)))
+		case i%2 == 0:
+			m.Insert(expr.MustNew(id, expr.Eq(1, 1), expr.Eq(3, expr.Value(i))))
+		default:
+			m.Insert(expr.MustNew(id, expr.Eq(2, 2), expr.Eq(3, expr.Value(i))))
+		}
+		id++
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 1), expr.P(2, 2)))
+	if len(got) != 50 {
+		t.Fatalf("got %d matches, want 50", len(got))
+	}
+}
+
+func TestZeroPartitionVerifiesEverything(t *testing.T) {
+	m := New()
+	if err := m.Insert(expr.MustNew(1, expr.Rng(1, 0, 10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(expr.MustNew(2, expr.Rng(1, 20, 30))); err != nil {
+		t.Fatal(err)
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 5)))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+}
+
+func TestRebuildAfterHeavyDeletion(t *testing.T) {
+	m := New()
+	for id := expr.ID(1); id <= 100; id++ {
+		if err := m.Insert(expr.MustNew(id, expr.Eq(1, expr.Value(id%5)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := expr.ID(1); id <= 80; id++ {
+		if !m.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	if m.Size() != 20 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 0)))
+	want := 0
+	for id := expr.ID(81); id <= 100; id++ {
+		if id%5 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("after rebuild got %d matches, want %d", len(got), want)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	m := New()
+	if err := m.Insert(expr.MustNew(1, expr.Eq(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemBytes() <= 0 {
+		t.Fatal("MemBytes should be positive")
+	}
+}

@@ -1,0 +1,43 @@
+// Package match defines the contract shared by every matching algorithm
+// in the repository: the naive SCAN, the COUNTING inverted index, the
+// BE-Tree, and the compressed matchers. The benchmark harness and the
+// cross-algorithm equivalence tests are written purely against this
+// interface.
+package match
+
+import "github.com/streammatch/apcm/expr"
+
+// Matcher indexes Boolean expressions and reports, for each event, the
+// ids of every expression the event satisfies (per the reference
+// semantics of expr.Expression.MatchesEvent).
+//
+// Matchers are single-writer: Insert and Delete must not race with each
+// other or with Match unless the concrete type documents otherwise. The
+// parallel engines layered on top provide their own synchronisation.
+type Matcher interface {
+	// Insert adds x to the index. Inserting an id that is already present
+	// is an error.
+	Insert(x *expr.Expression) error
+
+	// Delete removes the expression with the given id, reporting whether
+	// it was present.
+	Delete(id expr.ID) bool
+
+	// MatchAppend appends the ids of all matching expressions to dst and
+	// returns it. Order is unspecified; ids are unique per call.
+	MatchAppend(dst []expr.ID, e *expr.Event) []expr.ID
+
+	// Size returns the number of indexed expressions.
+	Size() int
+
+	// ForEach visits every live expression in unspecified order. fn
+	// returning false stops the walk. ForEach must not run concurrently
+	// with Insert or Delete.
+	ForEach(fn func(*expr.Expression) bool)
+}
+
+// MemReporter is implemented by matchers that can estimate their heap
+// footprint; the memory/compression experiment (E9) uses it.
+type MemReporter interface {
+	MemBytes() int64
+}

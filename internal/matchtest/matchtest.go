@@ -1,0 +1,321 @@
+// Package matchtest provides a conformance harness shared by every
+// matcher implementation: semantic equivalence against the reference
+// MatchesEvent oracle on randomized workloads, duplicate/delete
+// behaviour, and insert/delete/match churn. New matchers get the full
+// battery by calling RunConformance from their tests.
+package matchtest
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/match"
+	"github.com/streammatch/apcm/workload"
+)
+
+// Factory builds an empty matcher under test.
+type Factory func() match.Matcher
+
+// RunConformance runs the complete battery against mk.
+func RunConformance(t *testing.T, mk Factory) {
+	t.Helper()
+	t.Run("Empty", func(t *testing.T) { testEmpty(t, mk) })
+	t.Run("DuplicateInsert", func(t *testing.T) { testDuplicateInsert(t, mk) })
+	t.Run("DeleteSemantics", func(t *testing.T) { testDeleteSemantics(t, mk) })
+	t.Run("SingleExpression", func(t *testing.T) { testSingleExpression(t, mk) })
+	t.Run("OracleEquivalence", func(t *testing.T) { testOracleEquivalence(t, mk) })
+	t.Run("Churn", func(t *testing.T) { testChurn(t, mk) })
+	t.Run("NoDuplicateMatches", func(t *testing.T) { testNoDuplicateMatches(t, mk) })
+	t.Run("ForEach", func(t *testing.T) { testForEach(t, mk) })
+}
+
+func testForEach(t *testing.T, mk Factory) {
+	m := mk()
+	want := map[expr.ID]bool{}
+	for id := expr.ID(1); id <= 50; id++ {
+		mustInsert(t, m, expr.MustNew(id, expr.Eq(1, expr.Value(id%7))))
+		want[id] = true
+	}
+	for id := expr.ID(1); id <= 50; id += 3 {
+		if !m.Delete(id) {
+			t.Fatalf("delete %d failed", id)
+		}
+		delete(want, id)
+	}
+	got := map[expr.ID]bool{}
+	m.ForEach(func(x *expr.Expression) bool {
+		if got[x.ID] {
+			t.Fatalf("ForEach visited id %d twice", x.ID)
+		}
+		got[x.ID] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d expressions, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("ForEach missed id %d", id)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.ForEach(func(*expr.Expression) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("ForEach ignored early stop: visited %d", n)
+	}
+}
+
+func testEmpty(t *testing.T, mk Factory) {
+	m := mk()
+	if m.Size() != 0 {
+		t.Fatalf("fresh matcher Size = %d", m.Size())
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.Pair{Attr: 1, Val: 1}))
+	if len(got) != 0 {
+		t.Fatalf("fresh matcher matched %v", got)
+	}
+	if m.Delete(42) {
+		t.Fatal("delete on empty matcher reported success")
+	}
+}
+
+func testDuplicateInsert(t *testing.T, mk Factory) {
+	m := mk()
+	x := expr.MustNew(7, expr.Eq(1, 5))
+	if err := m.Insert(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(x); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if m.Size() != 1 {
+		t.Fatalf("Size after duplicate insert = %d", m.Size())
+	}
+}
+
+func testDeleteSemantics(t *testing.T, mk Factory) {
+	m := mk()
+	x := expr.MustNew(7, expr.Eq(1, 5))
+	mustInsert(t, m, x)
+	ev := expr.MustEvent(expr.Pair{Attr: 1, Val: 5})
+	if got := m.MatchAppend(nil, ev); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("expected match before delete, got %v", got)
+	}
+	if !m.Delete(7) {
+		t.Fatal("delete of present id failed")
+	}
+	if m.Delete(7) {
+		t.Fatal("double delete reported success")
+	}
+	if got := m.MatchAppend(nil, ev); len(got) != 0 {
+		t.Fatalf("matched deleted expression: %v", got)
+	}
+	if m.Size() != 0 {
+		t.Fatalf("Size after delete = %d", m.Size())
+	}
+	// Re-inserting the same id after deletion must work.
+	mustInsert(t, m, x)
+	if got := m.MatchAppend(nil, ev); len(got) != 1 {
+		t.Fatalf("re-inserted expression not matched: %v", got)
+	}
+}
+
+func testSingleExpression(t *testing.T, mk Factory) {
+	cases := []struct {
+		x     *expr.Expression
+		ev    *expr.Event
+		match bool
+	}{
+		{expr.MustNew(1, expr.Eq(1, 5)), expr.MustEvent(expr.P(1, 5)), true},
+		{expr.MustNew(1, expr.Eq(1, 5)), expr.MustEvent(expr.P(1, 6)), false},
+		{expr.MustNew(1, expr.Eq(1, 5)), expr.MustEvent(expr.P(2, 5)), false},
+		{expr.MustNew(1, expr.Rng(1, 3, 9)), expr.MustEvent(expr.P(1, 9)), true},
+		{expr.MustNew(1, expr.Rng(1, 3, 9)), expr.MustEvent(expr.P(1, 10)), false},
+		{expr.MustNew(1, expr.Any(1, 2, 4)), expr.MustEvent(expr.P(1, 4)), true},
+		{expr.MustNew(1, expr.Any(1, 2, 4)), expr.MustEvent(expr.P(1, 3)), false},
+		{expr.MustNew(1, expr.Ne(1, 5)), expr.MustEvent(expr.P(1, 4)), true},
+		{expr.MustNew(1, expr.Ne(1, 5)), expr.MustEvent(expr.P(1, 5)), false},
+		{expr.MustNew(1, expr.Ne(1, 5)), expr.MustEvent(expr.P(2, 4)), false}, // attr missing
+		{expr.MustNew(1, expr.None(1, 5, 6)), expr.MustEvent(expr.P(1, 7)), true},
+		{expr.MustNew(1, expr.Lt(1, 5), expr.Gt(2, 5)), expr.MustEvent(expr.P(1, 4), expr.P(2, 6)), true},
+		{expr.MustNew(1, expr.Lt(1, 5), expr.Gt(2, 5)), expr.MustEvent(expr.P(1, 4), expr.P(2, 5)), false},
+		// Two predicates on one attribute.
+		{expr.MustNew(1, expr.Gt(1, 3), expr.Lt(1, 7)), expr.MustEvent(expr.P(1, 5)), true},
+		{expr.MustNew(1, expr.Gt(1, 3), expr.Lt(1, 7)), expr.MustEvent(expr.P(1, 3)), false},
+		// Only non-indexable predicates.
+		{expr.MustNew(1, expr.Ne(1, 0), expr.None(2, 9)), expr.MustEvent(expr.P(1, 1), expr.P(2, 2)), true},
+		{expr.MustNew(1, expr.Ne(1, 0)), expr.MustEvent(expr.P(2, 1)), false},
+	}
+	for i, c := range cases {
+		m := mk()
+		mustInsert(t, m, c.x)
+		got := m.MatchAppend(nil, c.ev)
+		if (len(got) == 1) != c.match {
+			t.Errorf("case %d: %s vs %s: got %v, want match=%v", i, c.x, c.ev, got, c.match)
+		}
+	}
+}
+
+// Workloads exercised by the oracle equivalence test. Mixes cover
+// equality-heavy, range-heavy, negation-bearing, pooled/redundant and
+// skewed regimes, all small enough for the brute-force oracle.
+func conformanceWorkloads() []workload.Params {
+	base := workload.Default()
+	base.NumAttrs = 12
+	base.Cardinality = 30
+	base.EventAttrs = 6
+	base.PredsMin, base.PredsMax = 1, 4
+	base.MatchFraction = 0.3
+	base.PredPoolSize = 0
+
+	w1 := base // equality-heavy
+
+	w2 := base
+	w2.Seed = 2
+	w2.WEquality, w2.WRange, w2.WMembership, w2.WNegated = 0.2, 0.5, 0.2, 0.1
+	w2.RangeWidthFrac = 0.3
+
+	w3 := base
+	w3.Seed = 3
+	w3.WEquality, w3.WRange, w3.WMembership, w3.WNegated = 0.1, 0.1, 0.1, 0.7
+
+	w4 := base
+	w4.Seed = 4
+	w4.PredPoolSize = 3 // heavy redundancy: the compressed sweet spot
+
+	w5 := base
+	w5.Seed = 5
+	w5.ValueZipf = 1.5
+	w5.AttrZipf = 1.5
+	w5.WNegated = 0.1
+
+	w6 := base
+	w6.Seed = 6
+	w6.NumAttrs = 3
+	w6.EventAttrs = 3
+	w6.Cardinality = 5 // tiny domain: maximum collision pressure
+	w6.PredsMin, w6.PredsMax = 1, 3
+
+	return []workload.Params{w1, w2, w3, w4, w5, w6}
+}
+
+func testOracleEquivalence(t *testing.T, mk Factory) {
+	for wi, p := range conformanceWorkloads() {
+		p := p
+		t.Run(fmt.Sprintf("workload%d", wi+1), func(t *testing.T) {
+			g := workload.MustNew(p)
+			xs := g.Expressions(400)
+			m := mk()
+			for _, x := range xs {
+				mustInsert(t, m, x)
+			}
+			if m.Size() != len(xs) {
+				t.Fatalf("Size = %d, want %d", m.Size(), len(xs))
+			}
+			for _, ev := range g.Events(300) {
+				want := oracle(xs, ev)
+				got := normalize(m.MatchAppend(nil, ev))
+				if !equalIDs(got, want) {
+					t.Fatalf("event %s:\n got %v\nwant %v", ev, got, want)
+				}
+			}
+		})
+	}
+}
+
+func testChurn(t *testing.T, mk Factory) {
+	p := conformanceWorkloads()[0]
+	p.Seed = 99
+	g := workload.MustNew(p)
+	xs := g.Expressions(300)
+	m := mk()
+	live := map[expr.ID]*expr.Expression{}
+
+	step := func(i int) {
+		x := xs[i%len(xs)]
+		if _, ok := live[x.ID]; ok {
+			if !m.Delete(x.ID) {
+				t.Fatalf("step %d: delete of live id %d failed", i, x.ID)
+			}
+			delete(live, x.ID)
+		} else {
+			mustInsert(t, m, x)
+			live[x.ID] = x
+		}
+	}
+
+	for i := 0; i < 900; i++ {
+		step(i*7 + i*i%13)
+		if i%25 == 0 {
+			ev := g.Event()
+			want := oracleMap(live, ev)
+			got := normalize(m.MatchAppend(nil, ev))
+			if !equalIDs(got, want) {
+				t.Fatalf("step %d: got %v want %v", i, got, want)
+			}
+			if m.Size() != len(live) {
+				t.Fatalf("step %d: Size = %d, want %d", i, m.Size(), len(live))
+			}
+		}
+	}
+}
+
+func testNoDuplicateMatches(t *testing.T, mk Factory) {
+	m := mk()
+	// An expression whose predicates could be hit through multiple index
+	// paths must still be reported once.
+	x := expr.MustNew(5, expr.Any(1, 2, 3), expr.Rng(1, 0, 10), expr.Ge(2, 0))
+	mustInsert(t, m, x)
+	ev := expr.MustEvent(expr.P(1, 3), expr.P(2, 1))
+	got := m.MatchAppend(nil, ev)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v, want exactly [5]", got)
+	}
+}
+
+func mustInsert(t *testing.T, m match.Matcher, x *expr.Expression) {
+	t.Helper()
+	if err := m.Insert(x); err != nil {
+		t.Fatalf("Insert(%s): %v", x, err)
+	}
+}
+
+func oracle(xs []*expr.Expression, ev *expr.Event) []expr.ID {
+	var out []expr.ID
+	for _, x := range xs {
+		if x.MatchesEvent(ev) {
+			out = append(out, x.ID)
+		}
+	}
+	return normalize(out)
+}
+
+func oracleMap(live map[expr.ID]*expr.Expression, ev *expr.Event) []expr.ID {
+	var out []expr.ID
+	for _, x := range live {
+		if x.MatchesEvent(ev) {
+			out = append(out, x.ID)
+		}
+	}
+	return normalize(out)
+}
+
+func normalize(ids []expr.ID) []expr.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []expr.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

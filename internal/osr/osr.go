@@ -1,0 +1,91 @@
+// Package osr implements online stream re-ordering (OSR): buffering a
+// bounded window of incoming events and releasing them ordered by index
+// locality, so that consecutive events traverse the same partitions and
+// clusters. Re-ordering improves cache residency of the compressed
+// bitsets and stabilises the adaptive matcher's per-cluster estimates.
+//
+// Locality order is lexicographic over the event's sorted
+// (attribute, value) pairs: events sharing an attribute-set prefix — and
+// therefore an index descent prefix — become adjacent. The window bounds
+// added latency; the engine's streaming layer adds a wall-clock flush on
+// top.
+package osr
+
+import (
+	"sort"
+
+	"github.com/streammatch/apcm/expr"
+)
+
+// Less is the locality order: lexicographic comparison of the events'
+// sorted pair lists (attribute first, then value).
+func Less(a, b *expr.Event) bool {
+	ap, bp := a.Pairs(), b.Pairs()
+	n := len(ap)
+	if len(bp) < n {
+		n = len(bp)
+	}
+	for i := 0; i < n; i++ {
+		if ap[i].Attr != bp[i].Attr {
+			return ap[i].Attr < bp[i].Attr
+		}
+		if ap[i].Val != bp[i].Val {
+			return ap[i].Val < bp[i].Val
+		}
+	}
+	return len(ap) < len(bp)
+}
+
+// Reorder sorts events in place into locality order. The sort is stable
+// so equal-signature events keep their arrival order.
+func Reorder(events []*expr.Event) {
+	sort.SliceStable(events, func(i, j int) bool { return Less(events[i], events[j]) })
+}
+
+// Buffer is a bounded re-ordering window. Add events; when the window
+// fills, Add returns the reordered batch (and retains nothing). The
+// caller owns flushing any tail via Flush. Buffer is not safe for
+// concurrent use.
+type Buffer struct {
+	window int
+	buf    []*expr.Event
+}
+
+// NewBuffer returns a buffer that flushes every window events. A window
+// of zero or one disables re-ordering: every Add flushes immediately.
+func NewBuffer(window int) *Buffer {
+	if window < 1 {
+		window = 1
+	}
+	return &Buffer{window: window, buf: make([]*expr.Event, 0, window)}
+}
+
+// Window returns the configured window size.
+func (b *Buffer) Window() int { return b.window }
+
+// Pending returns the number of buffered events.
+func (b *Buffer) Pending() int { return len(b.buf) }
+
+// Add buffers e. When the window is full it returns the reordered batch
+// and resets; otherwise it returns nil.
+func (b *Buffer) Add(e *expr.Event) []*expr.Event {
+	b.buf = append(b.buf, e)
+	if len(b.buf) >= b.window {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush returns the buffered events in locality order and resets the
+// buffer. It returns nil when empty. The returned slice is owned by the
+// caller; the buffer allocates a fresh backing array for the next
+// window.
+func (b *Buffer) Flush() []*expr.Event {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	out := b.buf
+	Reorder(out)
+	b.buf = make([]*expr.Event, 0, b.window)
+	return out
+}

@@ -1,0 +1,50 @@
+package scan
+
+import (
+	"testing"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/match"
+	"github.com/streammatch/apcm/internal/matchtest"
+)
+
+func TestConformance(t *testing.T) {
+	matchtest.RunConformance(t, func() match.Matcher { return New() })
+}
+
+func TestSwapRemoveKeepsPositions(t *testing.T) {
+	m := New()
+	for id := expr.ID(1); id <= 4; id++ {
+		if err := m.Insert(expr.MustNew(id, expr.Eq(1, expr.Value(id)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete from the middle; the swapped-in tail expression must remain
+	// findable and matchable.
+	if !m.Delete(2) {
+		t.Fatal("delete failed")
+	}
+	got := m.MatchAppend(nil, expr.MustEvent(expr.P(1, 4)))
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("tail expression lost after swap-remove: %v", got)
+	}
+	if !m.Delete(4) {
+		t.Fatal("swapped expression not deletable")
+	}
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+}
+
+func TestMemBytesGrows(t *testing.T) {
+	m := New()
+	if m.MemBytes() != 0 {
+		t.Fatalf("empty MemBytes = %d", m.MemBytes())
+	}
+	if err := m.Insert(expr.MustNew(1, expr.Eq(1, 1), expr.Any(2, 1, 2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemBytes() <= 0 {
+		t.Fatal("MemBytes should grow with inserts")
+	}
+}

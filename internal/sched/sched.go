@@ -1,0 +1,135 @@
+// Package sched provides the parallel executor used by the engine: a
+// pool of persistent worker goroutines that execute index ranges with an
+// atomic cursor. The same pool serves both parallelism axes of the
+// paper: intra-event (shard one event's candidate clusters across
+// workers) and inter-event (shard an event batch across workers).
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker goroutines. Create with NewPool, release
+// with Close. Run may be called concurrently from multiple goroutines;
+// jobs are interleaved across the same workers.
+type Pool struct {
+	workers int
+	jobs    chan *job
+	done    sync.WaitGroup
+	closed  atomic.Bool
+}
+
+type job struct {
+	fn     func(worker, idx int)
+	cursor atomic.Int64
+	total  int64
+	grain  int64
+	wg     sync.WaitGroup
+}
+
+// NewPool returns a pool with the given number of workers; zero or
+// negative means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The job channel is buffered so that offering copies never depends
+	// on workers being parked at the receive yet (they may not have been
+	// scheduled at all right after NewPool on a loaded machine).
+	p := &Pool{workers: workers, jobs: make(chan *job, workers)}
+	p.done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker(w int) {
+	defer p.done.Done()
+	for j := range p.jobs {
+		j.drain(w)
+		j.wg.Done()
+	}
+}
+
+func (j *job) drain(w int) {
+	for {
+		start := j.cursor.Add(j.grain) - j.grain
+		if start >= j.total {
+			return
+		}
+		end := start + j.grain
+		if end > j.total {
+			end = j.total
+		}
+		for i := start; i < end; i++ {
+			j.fn(w, int(i))
+		}
+	}
+}
+
+// Run executes fn(worker, idx) for every idx in [0, total), distributing
+// ranges across the pool, and blocks until all complete. The calling
+// goroutine participates, so Run(total, fn) with a single-worker pool
+// still makes progress even under pool contention. fn must be safe for
+// concurrent invocation with distinct idx.
+func (p *Pool) Run(total int, fn func(worker, idx int)) {
+	if total <= 0 {
+		return
+	}
+	if p.closed.Load() {
+		// Late callers degrade to inline execution rather than deadlock.
+		for i := 0; i < total; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if total == 1 || p.workers == 1 {
+		for i := 0; i < total; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	j := &job{fn: fn, total: int64(total)}
+	j.grain = int64(total) / int64(p.workers*8)
+	if j.grain < 1 {
+		j.grain = 1
+	}
+	// Enqueue one job copy per worker (fewer if the queue backs up under
+	// concurrent Runs — the caller covers the difference by draining).
+	// Each delivered copy is Done'd exactly once by its receiver; a copy
+	// received after the cursor is exhausted drains as a no-op.
+	copies := p.workers
+	if copies > total {
+		copies = total
+	}
+offer:
+	for i := 0; i < copies; i++ {
+		j.wg.Add(1)
+		select {
+		case p.jobs <- j:
+		default:
+			j.wg.Add(-1)
+			break offer
+		}
+	}
+	// The caller participates as worker id p.workers, so a busy pool
+	// never stalls it.
+	j.drain(p.workers)
+	j.wg.Wait()
+}
+
+// Close stops the workers. Run observed to start after Close executes
+// inline. Close must not be called concurrently with Run; the engine
+// enforces this with its writer lock.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+		p.done.Wait()
+	}
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		for _, total := range []int{0, 1, 7, 64, 1000} {
+			var hits = make([]atomic.Int32, total)
+			p.Run(total, func(_, i int) { hits[i].Add(1) })
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d total=%d: index %d hit %d times", workers, total, i, hits[i].Load())
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+}
+
+func TestWorkerIDsInRange(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var bad atomic.Int32
+	p.Run(10000, func(w, _ int) {
+		// Caller participates as worker id p.Workers().
+		if w < 0 || w > 4 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d out-of-range worker ids", bad.Load())
+	}
+}
+
+func TestConcurrentRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(500, func(_, _ int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 8*500 {
+		t.Fatalf("total = %d, want %d", total.Load(), 8*500)
+	}
+}
+
+func TestRunAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	var n atomic.Int32
+	p.Run(10, func(_, _ int) { n.Add(1) })
+	if n.Load() != 10 {
+		t.Fatalf("Run after Close executed %d of 10", n.Load())
+	}
+}
+
+func TestDoubleCloseSafe(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}
+
+func TestParallelismActuallyHappens(t *testing.T) {
+	// With several workers, at least two distinct worker ids should
+	// participate in a large run (statistically certain with a blocking
+	// first task per worker).
+	p := NewPool(4)
+	defer p.Close()
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var gate sync.WaitGroup
+	gate.Add(2)
+	done := make(chan struct{})
+	go func() { gate.Wait(); close(done) }()
+	p.Run(64, func(w, i int) {
+		mu.Lock()
+		first := !seen[w]
+		seen[w] = true
+		n := len(seen)
+		mu.Unlock()
+		if first && n <= 2 {
+			gate.Done()
+			<-done // hold until a second worker arrives
+		}
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 2 {
+		t.Fatalf("only %d workers participated", len(seen))
+	}
+}

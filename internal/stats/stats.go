@@ -1,0 +1,172 @@
+// Package stats provides the small measurement kit the benchmark
+// harness is built on: streaming mean/variance (Welford), exponential-
+// bucket latency histograms with percentile estimation, and throughput
+// meters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Histogram is a latency histogram with exponentially sized buckets:
+// bucket i covers [base·growth^i, base·growth^(i+1)). The default
+// (NewLatencyHistogram) spans 100ns to ~100s with ~9% resolution.
+type Histogram struct {
+	base    float64
+	logG    float64
+	buckets []int64
+	under   int64 // samples below base
+	count   int64
+	sum     float64
+	max     float64
+}
+
+// NewHistogram returns a histogram with the given base, growth factor
+// (> 1) and bucket count.
+func NewHistogram(base, growth float64, n int) *Histogram {
+	if base <= 0 || growth <= 1 || n <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{base: base, logG: math.Log(growth), buckets: make([]int64, n)}
+}
+
+// NewLatencyHistogram returns the standard latency histogram
+// (nanosecond samples, 100ns..~100s).
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100, 1.09, 240)
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	h.sum += x
+	if x > h.max {
+		h.max = x
+	}
+	if x < h.base {
+		h.under++
+		return
+	}
+	i := int(math.Log(x/h.base) / h.logG)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+}
+
+// AddDuration records a duration sample in nanoseconds.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(float64(d.Nanoseconds())) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]), with the resolution of the bucket widths.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank <= h.under {
+		return h.base
+	}
+	seen := h.under
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			return h.base * math.Exp(h.logG*float64(i+1))
+		}
+	}
+	return h.max
+}
+
+// Summary renders count/mean/p50/p95/p99/max for tables, interpreting
+// samples as nanoseconds.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		h.count,
+		time.Duration(h.Mean()),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.95)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.max),
+	)
+}
+
+// Meter measures throughput over a wall-clock interval.
+type Meter struct {
+	start time.Time
+	n     int64
+}
+
+// NewMeter starts a meter.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add records n completed items.
+func (m *Meter) Add(n int64) { m.n += n }
+
+// Rate returns items per second since the meter started.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// Count returns the number of recorded items.
+func (m *Meter) Count() int64 { return m.n }
+
+// Elapsed returns the time since the meter started.
+func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }

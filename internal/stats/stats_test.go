@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("Mean = %f", w.Mean())
+	}
+	// Known population: sample variance = 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Fatalf("Var = %f", w.Var())
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Fatalf("Std = %f", w.Std())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 {
+		t.Fatalf("mean=%f var=%f", w.Mean(), w.Var())
+	}
+}
+
+func TestPropWelfordMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 2
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+			w.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-v) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 2, 10)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 1000 samples: 1µs, except ten at 1ms.
+	for i := 0; i < 990; i++ {
+		h.Add(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1e6)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 500 || p50 > 2000 {
+		t.Fatalf("p50 = %f, want ≈1000", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 5e5 || p999 > 2e6 {
+		t.Fatalf("p99.9 = %f, want ≈1e6", p999)
+	}
+	if h.Max() != 1e6 {
+		t.Fatalf("Max = %f", h.Max())
+	}
+	mean := h.Mean()
+	want := (990*1000 + 10*1e6) / 1000.0
+	if math.Abs(mean-want) > 1 {
+		t.Fatalf("Mean = %f, want %f", mean, want)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	h.Add(1) // below base
+	if q := h.Quantile(0.5); q != 100 {
+		t.Fatalf("under-base quantile = %f, want base", q)
+	}
+	h.Add(1e18) // beyond last bucket: clamps
+	if h.Quantile(1.0) <= 0 {
+		t.Fatal("clamped quantile should be positive")
+	}
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Fatal("q<0 should clamp to 0")
+	}
+	_ = h.Quantile(2) // must not panic
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		h.Add(math.Exp(rng.Float64() * 15))
+	}
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone at q=%f: %f < %f", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramAddDurationAndSummary(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.AddDuration(3 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("AddDuration did not record")
+	}
+	s := h.Summary()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("Summary = %q", s)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(100)
+	m.Add(50)
+	if m.Count() != 150 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	time.Sleep(time.Millisecond)
+	if m.Rate() <= 0 {
+		t.Fatalf("Rate = %f", m.Rate())
+	}
+	if m.Elapsed() <= 0 {
+		t.Fatal("Elapsed should be positive")
+	}
+}

@@ -1,0 +1,88 @@
+package apcm
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+)
+
+// SaveSubscriptions writes every live subscription to w as a binary
+// trace (see package trace), so a subscription database can be persisted
+// and restored across restarts. Engines holding DNF groups cannot be
+// snapshotted (the flat trace format has no group structure); Save
+// returns an error rather than silently flattening them.
+func (e *Engine) SaveSubscriptions(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(e.groups) > 0 {
+		return fmt.Errorf("apcm: cannot snapshot an engine with DNF subscriptions")
+	}
+	var m interface {
+		Size() int
+		ForEach(func(*expr.Expression) bool)
+	}
+	if e.cm != nil {
+		m = e.cm
+	} else {
+		m = e.sm
+	}
+	tw, err := trace.NewWriter(w, trace.KindExpressions, m.Size())
+	if err != nil {
+		return err
+	}
+	var werr error
+	m.ForEach(func(x *expr.Expression) bool {
+		werr = tw.WriteExpression(x)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return tw.Close()
+}
+
+// LoadSubscriptions reads a trace written by SaveSubscriptions (or by
+// cmd/apcm-gen) and subscribes every expression. The id allocator is
+// advanced past the largest loaded id so NewID never collides with a
+// restored subscription. It returns the number of subscriptions loaded;
+// on error, subscriptions read before the failure remain subscribed.
+func (e *Engine) LoadSubscriptions(r io.Reader) (int, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	if tr.Kind() != trace.KindExpressions {
+		return 0, fmt.Errorf("apcm: trace holds %q records, want expressions", tr.Kind())
+	}
+	n := 0
+	var maxID expr.ID
+	for {
+		x, err := tr.ReadExpression()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := e.Subscribe(x); err != nil {
+			return n, err
+		}
+		if x.ID > maxID {
+			maxID = x.ID
+		}
+		n++
+	}
+	// Advance the allocator past every restored id.
+	for {
+		cur := e.nextID.Load()
+		if cur >= uint64(maxID) || e.nextID.CompareAndSwap(cur, uint64(maxID)) {
+			break
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,145 @@
+package apcm
+
+import (
+	"time"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/osr"
+	"sync"
+)
+
+// StreamOptions configures a Stream.
+type StreamOptions struct {
+	// Window is the online stream re-ordering window: events are
+	// buffered, reordered by index locality, and matched as a batch once
+	// Window events accumulate. A window of 0 or 1 disables re-ordering
+	// (every event is matched immediately).
+	Window int
+	// MaxDelay bounds the extra latency re-ordering may add: a partial
+	// window is flushed this long after its first event. 0 means 10ms.
+	// Ignored when Window disables buffering.
+	MaxDelay time.Duration
+}
+
+func (o *StreamOptions) sanitize() {
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 10 * time.Millisecond
+	}
+}
+
+// Stream is the engine's streaming front end with online stream
+// re-ordering (OSR). Events enter via Publish; matches leave via the
+// deliver callback, which runs on the publishing goroutine (on window
+// flushes) or on a timer goroutine (on deadline flushes) — it must be
+// safe for that and should not block for long.
+type Stream struct {
+	eng     *Engine
+	opts    StreamOptions
+	deliver func(*expr.Event, []expr.ID)
+
+	mu     sync.Mutex
+	buf    *osr.Buffer
+	timer  *time.Timer
+	closed bool
+}
+
+// NewStream creates a streaming front end over the engine.
+func (e *Engine) NewStream(opts StreamOptions, deliver func(ev *expr.Event, matches []expr.ID)) *Stream {
+	opts.sanitize()
+	return &Stream{
+		eng:     e,
+		opts:    opts,
+		deliver: deliver,
+		buf:     osr.NewBuffer(opts.Window),
+	}
+}
+
+// Publish submits an event. It may synchronously flush a full window
+// (invoking deliver for every event in it, in locality order).
+func (s *Stream) Publish(ev *expr.Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	wasEmpty := s.buf.Pending() == 0
+	batch := s.buf.Add(ev)
+	if batch == nil && wasEmpty && s.buf.Pending() > 0 {
+		s.armTimer()
+	}
+	if batch != nil {
+		s.stopTimer()
+	}
+	s.mu.Unlock()
+	if batch != nil {
+		s.process(batch)
+	}
+}
+
+// armTimer schedules a deadline flush; the caller holds s.mu.
+func (s *Stream) armTimer() {
+	if s.opts.Window <= 1 {
+		return
+	}
+	s.timer = time.AfterFunc(s.opts.MaxDelay, s.Flush)
+}
+
+// stopTimer cancels a pending deadline flush; the caller holds s.mu.
+func (s *Stream) stopTimer() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+// Flush matches and delivers any buffered events immediately.
+func (s *Stream) Flush() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.stopTimer()
+	batch := s.buf.Flush()
+	s.mu.Unlock()
+	if batch != nil {
+		s.process(batch)
+	}
+}
+
+func (s *Stream) process(batch []*expr.Event) {
+	// Re-ordering makes identical events adjacent; match each distinct
+	// event once and fan the result out. dedup[i] is the index in
+	// `unique` whose result event i reuses.
+	unique := make([]*expr.Event, 0, len(batch))
+	dedup := make([]int, len(batch))
+	for i, ev := range batch {
+		if i > 0 && ev.Equal(batch[i-1]) {
+			dedup[i] = dedup[i-1]
+			continue
+		}
+		dedup[i] = len(unique)
+		unique = append(unique, ev)
+	}
+	results := s.eng.MatchBatch(unique)
+	for i, ev := range batch {
+		s.deliver(ev, results[dedup[i]])
+	}
+}
+
+// Pending returns the number of buffered, not-yet-matched events.
+func (s *Stream) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Pending()
+}
+
+// Close flushes buffered events and stops the stream. Publishes after
+// Close are dropped. Close is idempotent.
+func (s *Stream) Close() {
+	s.Flush()
+	s.mu.Lock()
+	s.closed = true
+	s.stopTimer()
+	s.mu.Unlock()
+}

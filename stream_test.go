@@ -1,0 +1,174 @@
+package apcm_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+)
+
+type collector struct {
+	mu   sync.Mutex
+	evs  []*expr.Event
+	hits []int
+}
+
+func (c *collector) deliver(ev *expr.Event, ids []expr.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evs = append(c.evs, ev)
+	c.hits = append(c.hits, len(ids))
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.evs)
+}
+
+func newStreamEngine(t *testing.T) *apcm.Engine {
+	t.Helper()
+	e := apcm.MustNew(apcm.Options{Workers: 1})
+	for v := expr.Value(0); v < 10; v++ {
+		if _, err := e.SubscribePreds(expr.Eq(1, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestStreamWindowFlush(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 4, MaxDelay: time.Hour}, c.deliver)
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		s.Publish(expr.MustEvent(expr.P(1, expr.Value(9-i))))
+	}
+	if c.count() != 0 {
+		t.Fatalf("delivered before window full: %d", c.count())
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.Publish(expr.MustEvent(expr.P(1, 0)))
+	if c.count() != 4 {
+		t.Fatalf("window flush delivered %d of 4", c.count())
+	}
+	// Locality order: the reordered batch is ascending by value.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 1; i < len(c.evs); i++ {
+		if c.evs[i].Pairs()[0].Val < c.evs[i-1].Pairs()[0].Val {
+			t.Fatal("flushed batch not in locality order")
+		}
+	}
+	for _, h := range c.hits {
+		if h != 1 {
+			t.Fatalf("each event should match exactly one subscription, got %v", c.hits)
+		}
+	}
+}
+
+func TestStreamDeadlineFlush(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 100, MaxDelay: 20 * time.Millisecond}, c.deliver)
+	defer s.Close()
+	s.Publish(expr.MustEvent(expr.P(1, 5)))
+	deadline := time.Now().Add(2 * time.Second)
+	for c.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.count() != 1 {
+		t.Fatalf("deadline flush did not deliver (got %d)", c.count())
+	}
+}
+
+func TestStreamManualFlushAndClose(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 100, MaxDelay: time.Hour}, c.deliver)
+	s.Publish(expr.MustEvent(expr.P(1, 1)))
+	s.Publish(expr.MustEvent(expr.P(1, 2)))
+	s.Flush()
+	if c.count() != 2 {
+		t.Fatalf("manual flush delivered %d of 2", c.count())
+	}
+	s.Publish(expr.MustEvent(expr.P(1, 3)))
+	s.Close() // flushes the tail
+	if c.count() != 3 {
+		t.Fatalf("close flush delivered %d of 3", c.count())
+	}
+	s.Publish(expr.MustEvent(expr.P(1, 4))) // dropped
+	s.Flush()
+	s.Close()
+	if c.count() != 3 {
+		t.Fatalf("publish after close delivered: %d", c.count())
+	}
+}
+
+func TestStreamUnbuffered(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 0}, c.deliver)
+	defer s.Close()
+	s.Publish(expr.MustEvent(expr.P(1, 5)))
+	if c.count() != 1 {
+		t.Fatal("unbuffered stream should deliver immediately")
+	}
+}
+
+func TestStreamDuplicateEventsDelivered(t *testing.T) {
+	// Duplicate events inside a window are matched once but every copy
+	// must still be delivered with the full result.
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 6, MaxDelay: time.Hour}, c.deliver)
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		s.Publish(expr.MustEvent(expr.P(1, 5)))
+		s.Publish(expr.MustEvent(expr.P(1, 7)))
+	}
+	if c.count() != 6 {
+		t.Fatalf("delivered %d of 6", c.count())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, h := range c.hits {
+		if h != 1 {
+			t.Fatalf("delivery %d has %d matches, want 1 (%s)", i, h, c.evs[i])
+		}
+	}
+}
+
+func TestStreamConcurrentPublishers(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 8, MaxDelay: 5 * time.Millisecond}, c.deliver)
+	var wg sync.WaitGroup
+	const perPublisher = 200
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				s.Publish(expr.MustEvent(expr.P(1, expr.Value(i%10))))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	if c.count() != 4*perPublisher {
+		t.Fatalf("delivered %d of %d", c.count(), 4*perPublisher)
+	}
+}
