@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/betree"
@@ -36,6 +37,7 @@ import (
 	"github.com/streammatch/apcm/internal/match"
 	"github.com/streammatch/apcm/internal/scan"
 	"github.com/streammatch/apcm/internal/sched"
+	"github.com/streammatch/apcm/metrics"
 )
 
 // Algorithm selects the matching algorithm backing an Engine.
@@ -138,6 +140,13 @@ type Options struct {
 	// and rejects provably unsatisfiable ones with ErrUnsatisfiable.
 	// Canonical subscriptions cluster and compress better.
 	Normalize bool
+
+	// Metrics, when non-nil, receives engine instrumentation: match
+	// latency histograms, batch sizes, subscription churn, adaptive
+	// kernel flips, worker-pool depth and stream window behaviour (see
+	// DESIGN.md §6). Nil — the default — disables instrumentation at the
+	// cost of a single pointer check per operation.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) sanitize() {
@@ -172,6 +181,9 @@ type Engine struct {
 
 	nextID atomic.Uint64
 	mem    match.MemReporter
+
+	// met is non-nil iff Options.Metrics was set; see observe.go.
+	met *engineMetrics
 
 	// DNF subscription groups (see dnf.go): groups maps a group id to
 	// its member expression ids, alias maps each member back to its
@@ -226,6 +238,9 @@ func New(opts Options) (*Engine, error) {
 	if w := opts.Workers; w > 1 || (w <= 0 && runtime.GOMAXPROCS(0) > 1) {
 		e.pool = sched.NewPool(w)
 	}
+	if opts.Metrics != nil {
+		e.attachMetrics(opts.Metrics)
+	}
 	return e, nil
 }
 
@@ -266,10 +281,16 @@ func (e *Engine) Subscribe(x *expr.Expression) error {
 	if e.closed {
 		return ErrClosed
 	}
+	var err error
 	if e.cm != nil {
-		return e.cm.Insert(x)
+		err = e.cm.Insert(x)
+	} else {
+		err = e.sm.Insert(x)
 	}
-	return e.sm.Insert(x)
+	if err == nil && e.met != nil {
+		e.met.subscribes.Inc()
+	}
+	return err
 }
 
 // SubscribePreds builds an expression from preds under a fresh id and
@@ -293,10 +314,16 @@ func (e *Engine) Unsubscribe(id expr.ID) bool {
 	if e.closed {
 		return false
 	}
+	removed := false
 	if wasGroup, ok := e.unsubscribeGroupLocked(id); wasGroup {
-		return ok
+		removed = ok
+	} else {
+		removed = e.deleteLocked(id)
 	}
-	return e.deleteLocked(id)
+	if removed && e.met != nil {
+		e.met.unsubscribes.Inc()
+	}
+	return removed
 }
 
 // Len returns the number of live subscriptions. A DNF group counts as
@@ -326,6 +353,18 @@ func (e *Engine) Match(ev *expr.Event) []expr.ID {
 // and returns it. With live DNF groups, matched group ids are reported
 // once even when several disjuncts match.
 func (e *Engine) MatchAppend(dst []expr.ID, ev *expr.Event) []expr.ID {
+	if m := e.met; m != nil {
+		head := len(dst)
+		start := time.Now()
+		dst = e.matchAppendUninstrumented(dst, ev)
+		m.matchLatency.ObserveDuration(time.Since(start))
+		m.matchesPerEvent.Observe(float64(len(dst) - head))
+		return dst
+	}
+	return e.matchAppendUninstrumented(dst, ev)
+}
+
+func (e *Engine) matchAppendUninstrumented(dst []expr.ID, ev *expr.Event) []expr.ID {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -384,6 +423,17 @@ func (e *Engine) matchAppendLocked(dst []expr.ID, ev *expr.Event) []expr.ID {
 // event. With a worker pool and a parallel-safe algorithm the events are
 // matched concurrently (inter-event parallelism).
 func (e *Engine) MatchBatch(events []*expr.Event) [][]expr.ID {
+	if m := e.met; m != nil {
+		start := time.Now()
+		out := e.matchBatchUninstrumented(events)
+		m.batchLatency.ObserveDuration(time.Since(start))
+		m.batchSize.Observe(float64(len(events)))
+		return out
+	}
+	return e.matchBatchUninstrumented(events)
+}
+
+func (e *Engine) matchBatchUninstrumented(events []*expr.Event) [][]expr.ID {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -451,6 +501,11 @@ type Stats struct {
 	// CompressedServing counts clusters currently routed to the
 	// compressed kernel (A-PCM adaptivity visibility).
 	CompressedServing int
+	// Probes counts dual-kernel cost probes and KernelFlips the cluster
+	// kernel re-decisions they triggered, both directions, cumulative
+	// (A-PCM only).
+	Probes      int64
+	KernelFlips int64
 }
 
 // Stats returns a snapshot of engine statistics.
@@ -471,6 +526,8 @@ func (e *Engine) Stats() Stats {
 		st.CompiledClusters = cs.CompiledClusters
 		st.CompressionRatio = cs.CompressionRatio()
 		st.CompressedServing = cs.CompressedServing
+		st.Probes = cs.Probes
+		st.KernelFlips = cs.FlipsToCompressed + cs.FlipsToUncompressed
 		return st
 	}
 	st.Subscriptions = e.sm.Size()

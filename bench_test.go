@@ -15,6 +15,7 @@ import (
 	"github.com/streammatch/apcm/broker"
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/osr"
+	"github.com/streammatch/apcm/metrics"
 	"github.com/streammatch/apcm/workload"
 )
 
@@ -336,6 +337,27 @@ func BenchmarkE16ClusterSize(b *testing.B) {
 			matchLoop(b, benchEngine(b, apcm.Options{ClusterSize: size}, xs), events)
 		})
 	}
+}
+
+// ---- Observability: metrics overhead ---------------------------------------------------------
+
+// BenchmarkMetricsOverhead measures the match hot path with the metrics
+// registry disabled (the nil fast path every unmetered engine takes) and
+// enabled (two histogram observations per event). Compare ns/op between
+// the two sub-benchmarks; the enabled variant must stay within a few
+// percent of disabled.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	b.Run("disabled", func(b *testing.B) {
+		matchLoop(b, benchEngine(b, apcm.Options{}, xs), events)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		reg := metrics.New()
+		matchLoop(b, benchEngine(b, apcm.Options{Metrics: reg}, xs), events)
+		if snap := reg.Snapshot(); len(snap) == 0 {
+			b.Fatal("registry recorded nothing")
+		}
+	})
 }
 
 // ---- E14: broker end-to-end -----------------------------------------------------------------

@@ -11,6 +11,7 @@ import (
 
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/metrics"
 )
 
 // Server fronts an Engine over TCP. Create with NewServer, start with
@@ -25,6 +26,10 @@ type Server struct {
 	// timeout, backpressure propagates to the publisher. Defaults to 2s;
 	// set before Serve.
 	SlowConsumerTimeout time.Duration
+	// Metrics, when non-nil, receives broker instrumentation
+	// (connections, outbox depth, slow-consumer drops, publish fan-out
+	// latency). Set before Serve.
+	Metrics *metrics.Registry
 
 	mu     sync.RWMutex
 	subs   map[expr.ID]*subscriber // engine id -> owner
@@ -32,8 +37,11 @@ type Server struct {
 	closed bool
 	ln     net.Listener
 
-	published atomic.Int64
-	delivered atomic.Int64
+	published  atomic.Int64
+	delivered  atomic.Int64
+	slowDrops  atomic.Int64
+	metOnce    sync.Once
+	publishLat *metrics.Histogram // nil without a registry (nil-safe)
 }
 
 type subscriber struct {
@@ -72,6 +80,47 @@ func (s *Server) Stats() (published, delivered int64) {
 	return s.published.Load(), s.delivered.Load()
 }
 
+// SlowConsumerDrops reports how many connections were terminated for
+// stalling past SlowConsumerTimeout.
+func (s *Server) SlowConsumerDrops() int64 { return s.slowDrops.Load() }
+
+// attachMetrics registers the broker's instruments on s.Metrics. The
+// cumulative counts stay on the server's own atomics (Stats predates
+// the registry) and are exported as read-time functions.
+func (s *Server) attachMetrics() {
+	reg := s.Metrics
+	if reg == nil {
+		return
+	}
+	s.publishLat = reg.Histogram("broker_publish_latency_ns",
+		"publish handling latency: decode, match and fan-out enqueue")
+	reg.CounterFunc("broker_published_total", "events received from clients",
+		func() float64 { return float64(s.published.Load()) })
+	reg.CounterFunc("broker_delivered_total", "match notifications enqueued to clients",
+		func() float64 { return float64(s.delivered.Load()) })
+	reg.CounterFunc("broker_slow_consumer_drops_total", "connections dropped for stalling past SlowConsumerTimeout",
+		func() float64 { return float64(s.slowDrops.Load()) })
+	reg.GaugeFunc("broker_connections", "currently connected clients", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.conns))
+	})
+	reg.GaugeFunc("broker_subscriptions", "live broker-owned subscriptions", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.subs))
+	})
+	reg.GaugeFunc("broker_outbox_depth", "frames queued across all client outboxes", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var n int
+		for c := range s.conns {
+			n += len(c.outbox)
+		}
+		return float64(n)
+	})
+}
+
 // Serve accepts connections on ln until Close. It returns nil after
 // Close, or the listener error otherwise.
 func (s *Server) Serve(ln net.Listener) error {
@@ -82,6 +131,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.metOnce.Do(s.attachMetrics)
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -172,6 +222,7 @@ func (c *conn) send(frame []byte) {
 	case c.outbox <- frame:
 	case <-c.done:
 	case <-t.C:
+		c.s.slowDrops.Add(1)
 		c.s.Logf("broker: dropping slow consumer %v (stalled %v)", c.nc.RemoteAddr(), timeout)
 		c.shutdown()
 	}
@@ -298,6 +349,11 @@ func (c *conn) handleUnsubscribe(body []byte) error {
 }
 
 func (c *conn) handlePublish(body []byte) error {
+	var start time.Time
+	if c.s.publishLat != nil {
+		start = time.Now()
+		defer func() { c.s.publishLat.ObserveDuration(time.Since(start)) }()
+	}
 	ev, n, err := expr.DecodeEvent(body)
 	if err != nil {
 		return fmt.Errorf("bad publish: %w", err)

@@ -9,11 +9,17 @@
 //
 // Scale multiplies workload sizes: -scale 1 is laptop/CI friendly,
 // -scale 50 and a few minutes reach paper-sized subscription counts.
+//
+// -metrics-addr serves the live observability surface (/metrics,
+// /metrics.json, /debug/pprof) while experiments run, and logs a metrics
+// summary line every -metrics-log interval — useful for watching a
+// multi-hour scale-50 run or grabbing a CPU profile mid-experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"github.com/streammatch/apcm/internal/bench"
+	"github.com/streammatch/apcm/metrics"
 )
 
 func main() {
@@ -33,6 +40,8 @@ func main() {
 		measure = flag.Duration("measure", 500*time.Millisecond, "minimum measurement time per data point")
 		csv     = flag.Bool("csv", false, "emit tables as CSV")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		metAddr = flag.String("metrics-addr", "", "optional observability address (serves /metrics, /metrics.json and /debug/pprof)")
+		metLog  = flag.Duration("metrics-log", 0, "log a metrics summary line at this interval (0 disables; needs -metrics-addr)")
 	)
 	flag.Parse()
 
@@ -71,6 +80,24 @@ func main() {
 		}
 	}
 
+	var reg *metrics.Registry
+	if *metAddr != "" {
+		reg = metrics.New()
+		ms := &http.Server{Addr: *metAddr, Handler: metrics.NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("apcm-bench: metrics on http://%s/metrics\n", *metAddr)
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "apcm-bench: metrics http: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		defer ms.Close()
+		stop := reg.StartLogger(*metLog, func(format string, args ...any) {
+			fmt.Printf("apcm-bench: "+format+"\n", args...)
+		})
+		defer stop()
+	}
+
 	cfg := bench.Config{
 		Out:        os.Stdout,
 		Scale:      *scale,
@@ -78,6 +105,7 @@ func main() {
 		Seed:       *seed,
 		MinMeasure: *measure,
 		CSV:        *csv,
+		Metrics:    reg,
 	}
 	fmt.Printf("apcm-bench: %d experiment(s), scale=%.2f workers=%d GOMAXPROCS=%d\n\n",
 		len(selected), *scale, *workers, runtime.GOMAXPROCS(0))

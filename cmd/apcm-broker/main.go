@@ -14,6 +14,11 @@
 //
 // The monitoring endpoint serves GET /stats (engine and broker counters
 // as JSON) and GET /healthz.
+//
+// -metrics-addr turns on the full observability layer on a second
+// listener: /metrics (Prometheus text), /metrics.json, /healthz and
+// /debug/pprof/. It carries per-match latency histograms, stream and
+// broker counters and profiling data; keep it off untrusted networks.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/broker"
 	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/metrics"
 	"github.com/streammatch/apcm/trace"
 )
 
@@ -41,6 +47,7 @@ func main() {
 		subs     = flag.String("subs", "", "optional subscription trace to pre-load")
 		statsIv  = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 		httpAddr = flag.String("http", "", "optional HTTP monitoring address (serves /stats and /healthz)")
+		metAddr  = flag.String("metrics-addr", "", "optional observability address (serves /metrics, /metrics.json and /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -48,7 +55,13 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	eng, err := apcm.New(apcm.Options{Algorithm: alg, Workers: *workers})
+	// The registry exists only when asked for; a nil registry keeps the
+	// engine's fast paths on their unmetered branch.
+	var reg *metrics.Registry
+	if *metAddr != "" {
+		reg = metrics.New()
+	}
+	eng, err := apcm.New(apcm.Options{Algorithm: alg, Workers: *workers, Metrics: reg})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -81,8 +94,26 @@ func main() {
 		fatal("%v", err)
 	}
 	srv := broker.NewServer(eng)
+	srv.Metrics = reg
 	start := time.Now()
 	fmt.Printf("apcm-broker: %s engine, listening on %s\n", alg, ln.Addr())
+
+	if reg != nil {
+		ms := &http.Server{Addr: *metAddr, Handler: metrics.NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("apcm-broker: metrics on http://%s/metrics\n", *metAddr)
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal("metrics http: %v", err)
+			}
+		}()
+		defer ms.Close()
+		if *statsIv > 0 {
+			stop := reg.StartLogger(*statsIv, func(format string, args ...any) {
+				fmt.Printf("apcm-broker: "+format+"\n", args...)
+			})
+			defer stop()
+		}
+	}
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()

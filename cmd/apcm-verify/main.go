@@ -6,17 +6,22 @@
 //
 //	apcm-verify -n 20000 -events 5000 -seed 3
 //	apcm-verify -subs w1.subs -eventsfile w1.events
+//
+// -metrics-addr serves /metrics, /metrics.json and /debug/pprof while
+// the verification runs — handy for profiling a large -oracle pass.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/metrics"
 	"github.com/streammatch/apcm/trace"
 	"github.com/streammatch/apcm/workload"
 )
@@ -30,8 +35,22 @@ func main() {
 		eventsPath = flag.String("eventsfile", "", "event trace (overrides generation)")
 		negated    = flag.Float64("neg", 0.05, "negated predicate weight for generated workloads")
 		oracle     = flag.Bool("oracle", false, "additionally verify against the O(n·m) reference semantics (slow)")
+		metAddr    = flag.String("metrics-addr", "", "optional observability address (serves /metrics, /metrics.json and /debug/pprof)")
 	)
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *metAddr != "" {
+		reg = metrics.New()
+		ms := &http.Server{Addr: *metAddr, Handler: metrics.NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("apcm-verify: metrics on http://%s/metrics\n", *metAddr)
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal("metrics http: %v", err)
+			}
+		}()
+		defer ms.Close()
+	}
 
 	xs, events, err := loadWorkload(*subsPath, *eventsPath, *n, *nev, *seed, *negated)
 	if err != nil {
@@ -41,7 +60,7 @@ func main() {
 
 	engines := make(map[apcm.Algorithm]*apcm.Engine)
 	for _, alg := range apcm.Algorithms() {
-		e, err := apcm.New(apcm.Options{Algorithm: alg})
+		e, err := apcm.New(apcm.Options{Algorithm: alg, Metrics: reg})
 		if err != nil {
 			fatal("%v", err)
 		}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/metrics"
 	"github.com/streammatch/apcm/workload"
 )
 
@@ -35,6 +36,9 @@ type Config struct {
 	MinMeasure time.Duration
 	// CSV emits tables as CSV instead of aligned text.
 	CSV bool
+	// Metrics, when non-nil, is attached to every engine the experiments
+	// build, so a live scrape endpoint can watch a long run.
+	Metrics *metrics.Registry
 }
 
 // emit renders a finished table according to the configured format.
@@ -121,9 +125,10 @@ func baseParams(seed int64) workload.Params {
 	return p
 }
 
-// buildEngine subscribes xs into a fresh engine and precompiles it.
-func buildEngine(alg apcm.Algorithm, workers int, xs []*expr.Expression) (*apcm.Engine, error) {
-	e, err := apcm.New(apcm.Options{Algorithm: alg, Workers: workers})
+// buildEngine subscribes xs into a fresh engine (instrumented with
+// cfg.Metrics when set) and precompiles it.
+func buildEngine(cfg Config, alg apcm.Algorithm, workers int, xs []*expr.Expression) (*apcm.Engine, error) {
+	e, err := apcm.New(apcm.Options{Algorithm: alg, Workers: workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +180,7 @@ func throughput(e *apcm.Engine, events []*expr.Event, minDur time.Duration) floa
 func measureAlgorithms(cfg Config, algs []apcm.Algorithm, xs []*expr.Expression, events []*expr.Event) (map[apcm.Algorithm]float64, error) {
 	out := make(map[apcm.Algorithm]float64, len(algs))
 	for _, alg := range algs {
-		e, err := buildEngine(alg, cfg.Workers, xs)
+		e, err := buildEngine(cfg, alg, cfg.Workers, xs)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", alg, err)
 		}

@@ -316,7 +316,7 @@ func e8() Experiment {
 			p := baseParams(cfg.Seed)
 			p.AttrZipf = 1.5 // skewed streams benefit most from re-ordering
 			xs, events := gen(p, cfg.n(15000, 200), cfg.n(4000, 200))
-			e, err := buildEngine(apcm.APCM, cfg.Workers, xs)
+			e, err := buildEngine(cfg, apcm.APCM, cfg.Workers, xs)
 			if err != nil {
 				return err
 			}
@@ -376,7 +376,7 @@ func e9() Experiment {
 				row := []string{fmt.Sprintf("%d", n)}
 				var ratio float64
 				for _, a := range algs {
-					e, err := buildEngine(a, 1, xs)
+					e, err := buildEngine(cfg, a, 1, xs)
 					if err != nil {
 						return err
 					}
@@ -408,7 +408,7 @@ func e10() Experiment {
 		Run: func(cfg Config) error {
 			cfg.sanitize()
 			xs, events := gen(baseParams(cfg.Seed), cfg.n(15000, 200), cfg.n(2000, 100))
-			e, err := buildEngine(apcm.APCM, cfg.Workers, xs)
+			e, err := buildEngine(cfg, apcm.APCM, cfg.Workers, xs)
 			if err != nil {
 				return err
 			}
@@ -469,7 +469,7 @@ func e11() Experiment {
 			t := NewTable("E11: per-event match latency",
 				"algorithm", "p50", "p95", "p99", "max")
 			for _, a := range apcm.Algorithms() {
-				e, err := buildEngine(a, cfg.Workers, xs)
+				e, err := buildEngine(cfg, a, cfg.Workers, xs)
 				if err != nil {
 					return err
 				}
@@ -517,7 +517,7 @@ func e12() Experiment {
 				g := workload.MustNew(p)
 				xs := g.Expressions(n + churn)
 				events := g.Events(500)
-				e, err := buildEngine(a, cfg.Workers, xs[:n])
+				e, err := buildEngine(cfg, a, cfg.Workers, xs[:n])
 				if err != nil {
 					return err
 				}

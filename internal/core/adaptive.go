@@ -68,6 +68,7 @@ func (m *Matcher) matchAdaptive(cs *clusterState, s *Scratch, dst []expr.ID, p *
 // on the same event anyway, so measuring them directly is both simpler
 // and honest. The EWMA absorbs timer noise on microsecond-scale runs.
 func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.Pool, e *expr.Event) []expr.ID {
+	m.probes.Add(1)
 	startU := time.Now()
 	s.probeIDs, _ = scanPool(p.Exprs, e, s.probeIDs[:0])
 	costU := float64(time.Since(startU))
@@ -97,10 +98,12 @@ func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.P
 	case kernelCompressed:
 		if cs.ewmaC > cs.ewmaU*margin {
 			cs.mode.Store(int32(kernelUncompressed))
+			m.flipsU.Add(1)
 		}
 	default:
 		if cs.ewmaU > cs.ewmaC*margin {
 			cs.mode.Store(int32(kernelCompressed))
+			m.flipsC.Add(1)
 		}
 	}
 	cs.mu.Unlock()

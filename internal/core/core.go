@@ -30,6 +30,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/betree"
@@ -118,6 +119,13 @@ type Matcher struct {
 	// their own synchronisation.
 	cmu      sync.RWMutex
 	clusters map[*betree.Pool]*clusterState
+
+	// Adaptive-policy observability: probe runs and kernel flips across
+	// all clusters (see adaptive.go). Without these the adaptivity that
+	// is A-PCM's whole point is invisible in a running system.
+	probes atomic.Int64
+	flipsC atomic.Int64 // flips to the compressed kernel
+	flipsU atomic.Int64 // flips to the uncompressed (scan) kernel
 
 	// scratch backs the plain MatchAppend entry point (single-threaded
 	// use); parallel callers bring their own via NewScratch/MatchWith.
@@ -270,6 +278,11 @@ type Stats struct {
 	DistinctPreds     int // Σ dictionary entries (compressed volume)
 	CompressedBytes   int64
 	CompressedServing int // clusters currently routed to the compressed kernel
+
+	// Adaptive-policy counters, cumulative since matcher creation.
+	Probes              int64 // events served by both kernels for costing
+	FlipsToCompressed   int64 // cluster re-decisions toward the compressed kernel
+	FlipsToUncompressed int64 // cluster re-decisions toward the scan kernel
 }
 
 // CompressionRatio is PredicateSlots / DistinctPreds: how many predicate
@@ -281,10 +294,21 @@ func (s Stats) CompressionRatio() float64 {
 	return float64(s.PredicateSlots) / float64(s.DistinctPreds)
 }
 
+// AdaptiveCounters reports the cumulative adaptive-policy counters
+// without touching the cluster map — cheap enough for metric scrapes.
+func (m *Matcher) AdaptiveCounters() (probes, flipsToCompressed, flipsToUncompressed int64) {
+	return m.probes.Load(), m.flipsC.Load(), m.flipsU.Load()
+}
+
 // Stats returns current compression statistics. It compiles nothing; only
 // clusters visited by earlier matches are counted.
 func (m *Matcher) Stats() Stats {
-	st := Stats{Tree: m.tree.Stats()}
+	st := Stats{
+		Tree:                m.tree.Stats(),
+		Probes:              m.probes.Load(),
+		FlipsToCompressed:   m.flipsC.Load(),
+		FlipsToUncompressed: m.flipsU.Load(),
+	}
 	m.cmu.RLock()
 	defer m.cmu.RUnlock()
 	for _, cs := range m.clusters {

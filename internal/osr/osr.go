@@ -42,14 +42,52 @@ func Reorder(events []*expr.Event) {
 	sort.SliceStable(events, func(i, j int) bool { return Less(events[i], events[j]) })
 }
 
+// ReorderDistance sorts events in place into locality order (stable,
+// like Reorder) and additionally returns the total displacement
+// Σ|new index − arrival index| — 0 for an already-ordered stream, large
+// for heavily shuffled arrivals. The streaming layer reports it as the
+// "reorder distance" metric: how much work OSR is actually doing.
+func ReorderDistance(events []*expr.Event) int {
+	type tagged struct {
+		ev  *expr.Event
+		idx int
+	}
+	tag := make([]tagged, len(events))
+	for i, ev := range events {
+		tag[i] = tagged{ev, i}
+	}
+	sort.SliceStable(tag, func(i, j int) bool { return Less(tag[i].ev, tag[j].ev) })
+	dist := 0
+	for i, t := range tag {
+		events[i] = t.ev
+		if d := i - t.idx; d < 0 {
+			dist -= d
+		} else {
+			dist += d
+		}
+	}
+	return dist
+}
+
 // Buffer is a bounded re-ordering window. Add events; when the window
 // fills, Add returns the reordered batch (and retains nothing). The
 // caller owns flushing any tail via Flush. Buffer is not safe for
 // concurrent use.
 type Buffer struct {
-	window int
-	buf    []*expr.Event
+	window    int
+	buf       []*expr.Event
+	trackDist bool
+	lastDist  int
 }
+
+// TrackDistance enables reorder-displacement measurement: after each
+// flush, LastDistance reports Σ|new index − arrival index| for the
+// flushed batch. Off by default (it costs one tagged copy per flush).
+func (b *Buffer) TrackDistance(on bool) { b.trackDist = on }
+
+// LastDistance returns the displacement of the most recent flush
+// (0 unless TrackDistance is enabled).
+func (b *Buffer) LastDistance() int { return b.lastDist }
 
 // NewBuffer returns a buffer that flushes every window events. A window
 // of zero or one disables re-ordering: every Add flushes immediately.
@@ -85,7 +123,11 @@ func (b *Buffer) Flush() []*expr.Event {
 		return nil
 	}
 	out := b.buf
-	Reorder(out)
+	if b.trackDist {
+		b.lastDist = ReorderDistance(out)
+	} else {
+		Reorder(out)
+	}
 	b.buf = make([]*expr.Event, 0, b.window)
 	return out
 }

@@ -19,9 +19,23 @@ type Pool struct {
 	jobs    chan *job
 	done    sync.WaitGroup
 	closed  atomic.Bool
+
+	// Observability: Run invocations and per-lane items executed. Lane w
+	// belongs to worker goroutine w; lane `workers` counts items drained
+	// inline by calling goroutines. Counters are cache-line padded so the
+	// hot drain loop never false-shares across workers.
+	runs  atomic.Int64
+	items []laneCount
+}
+
+// laneCount is an atomic counter padded to a cache line.
+type laneCount struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 type job struct {
+	p      *Pool
 	fn     func(worker, idx int)
 	cursor atomic.Int64
 	total  int64
@@ -38,7 +52,7 @@ func NewPool(workers int) *Pool {
 	// The job channel is buffered so that offering copies never depends
 	// on workers being parked at the receive yet (they may not have been
 	// scheduled at all right after NewPool on a loaded machine).
-	p := &Pool{workers: workers, jobs: make(chan *job, workers)}
+	p := &Pool{workers: workers, jobs: make(chan *job, workers), items: make([]laneCount, workers+1)}
 	p.done.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker(w)
@@ -70,6 +84,8 @@ func (j *job) drain(w int) {
 		for i := start; i < end; i++ {
 			j.fn(w, int(i))
 		}
+		// One add per chunk, not per item, keeps counting off the hot path.
+		j.p.items[w].n.Add(end - start)
 	}
 }
 
@@ -82,20 +98,23 @@ func (p *Pool) Run(total int, fn func(worker, idx int)) {
 	if total <= 0 {
 		return
 	}
+	p.runs.Add(1)
 	if p.closed.Load() {
 		// Late callers degrade to inline execution rather than deadlock.
 		for i := 0; i < total; i++ {
 			fn(0, i)
 		}
+		p.items[p.workers].n.Add(int64(total))
 		return
 	}
 	if total == 1 || p.workers == 1 {
 		for i := 0; i < total; i++ {
 			fn(0, i)
 		}
+		p.items[p.workers].n.Add(int64(total))
 		return
 	}
-	j := &job{fn: fn, total: int64(total)}
+	j := &job{p: p, fn: fn, total: int64(total)}
 	j.grain = int64(total) / int64(p.workers*8)
 	if j.grain < 1 {
 		j.grain = 1
@@ -122,6 +141,34 @@ offer:
 	// never stalls it.
 	j.drain(p.workers)
 	j.wg.Wait()
+}
+
+// Stats is an observability snapshot of the pool.
+type Stats struct {
+	Workers    int
+	QueueDepth int // job copies waiting in the queue right now
+	Runs       int64
+	// WorkerItems[w] is the number of task items lane w has executed;
+	// the last lane counts items drained inline by calling goroutines.
+	// Imbalance across lanes reveals skewed task costs or an
+	// under-subscribed pool.
+	WorkerItems []int64
+}
+
+// Stats snapshots the pool's counters. Safe to call concurrently with
+// Run; the per-lane values are individually atomic, not a consistent
+// cut.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Workers:     p.workers,
+		QueueDepth:  len(p.jobs),
+		Runs:        p.runs.Load(),
+		WorkerItems: make([]int64, len(p.items)),
+	}
+	for i := range p.items {
+		st.WorkerItems[i] = p.items[i].n.Load()
+	}
+	return st
 }
 
 // Close stops the workers. Run observed to start after Close executes

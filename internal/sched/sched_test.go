@@ -108,3 +108,37 @@ func TestParallelismActuallyHappens(t *testing.T) {
 		t.Fatalf("only %d workers participated", len(seen))
 	}
 }
+
+func TestStatsAccounting(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const total = 1000
+	for r := 0; r < 4; r++ {
+		p.Run(total, func(w, i int) {})
+	}
+	st := p.Stats()
+	if st.Workers != 3 {
+		t.Fatalf("Workers = %d", st.Workers)
+	}
+	if st.Runs != 4 {
+		t.Fatalf("Runs = %d, want 4", st.Runs)
+	}
+	if len(st.WorkerItems) != 4 { // 3 workers + caller lane
+		t.Fatalf("WorkerItems lanes = %d, want 4", len(st.WorkerItems))
+	}
+	var sum int64
+	for _, n := range st.WorkerItems {
+		sum += n
+	}
+	if sum != 4*total {
+		t.Fatalf("items executed = %d, want %d", sum, 4*total)
+	}
+	// Single-worker pools execute inline and count into the caller lane.
+	p1 := NewPool(1)
+	defer p1.Close()
+	p1.Run(10, func(w, i int) {})
+	st1 := p1.Stats()
+	if st1.WorkerItems[1] != 10 || st1.Runs != 1 {
+		t.Fatalf("inline accounting: %+v", st1)
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler serves the registry: Prometheus text format by default, JSON
+// when the client sends Accept: application/json.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// NewMux returns an http.ServeMux exposing the full observability
+// surface on one listener:
+//
+//	/metrics       Prometheus text format (JSON with Accept: application/json)
+//	/metrics.json  expvar-style JSON snapshot
+//	/healthz       liveness probe
+//	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, ...)
+//
+// Wire it behind an opt-in flag; the endpoint exposes profiling data
+// and should not face untrusted networks.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", Handler(r))
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -61,6 +61,17 @@ func (e *Engine) LoadSubscriptions(r io.Reader) (int, error) {
 	}
 	n := 0
 	var maxID expr.ID
+	// Advance the allocator past every restored id — also on a partial
+	// load, so NewID never collides with a subscription that survived a
+	// failed restore.
+	defer func() {
+		for {
+			cur := e.nextID.Load()
+			if cur >= uint64(maxID) || e.nextID.CompareAndSwap(cur, uint64(maxID)) {
+				return
+			}
+		}
+	}()
 	for {
 		x, err := tr.ReadExpression()
 		if err == io.EOF {
@@ -76,13 +87,6 @@ func (e *Engine) LoadSubscriptions(r io.Reader) (int, error) {
 			maxID = x.ID
 		}
 		n++
-	}
-	// Advance the allocator past every restored id.
-	for {
-		cur := e.nextID.Load()
-		if cur >= uint64(maxID) || e.nextID.CompareAndSwap(cur, uint64(maxID)) {
-			break
-		}
 	}
 	return n, nil
 }

@@ -1,11 +1,11 @@
 package apcm
 
 import (
+	"sync"
 	"time"
 
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/osr"
-	"sync"
 )
 
 // StreamOptions configures a Stream.
@@ -31,27 +31,45 @@ func (o *StreamOptions) sanitize() {
 // re-ordering (OSR). Events enter via Publish; matches leave via the
 // deliver callback, which runs on the publishing goroutine (on window
 // flushes) or on a timer goroutine (on deadline flushes) — it must be
-// safe for that and should not block for long.
+// safe for that and should not block for long. deliver must not call
+// Close on its own stream (Close waits for in-flight deliveries and
+// would deadlock).
+//
+// Timer races are resolved by a generation counter: every arm or cancel
+// bumps the generation, and a deadline callback that arrives with a
+// stale generation (its window was already flushed by Publish, Flush or
+// Close) is a no-op instead of flushing a newer partial window early.
+// Close waits for in-flight deliveries, so no deliver call is running
+// or will run after Close returns.
 type Stream struct {
 	eng     *Engine
 	opts    StreamOptions
 	deliver func(*expr.Event, []expr.ID)
 
-	mu     sync.Mutex
-	buf    *osr.Buffer
-	timer  *time.Timer
-	closed bool
+	mu       sync.Mutex
+	buf      *osr.Buffer
+	timer    *time.Timer
+	timerGen uint64
+	closed   bool
+	// inflight counts started-but-unfinished process() calls; every
+	// Add(1) happens under mu strictly before closed is set, so Close's
+	// Wait covers exactly the deliveries that were admitted.
+	inflight sync.WaitGroup
 }
 
 // NewStream creates a streaming front end over the engine.
 func (e *Engine) NewStream(opts StreamOptions, deliver func(ev *expr.Event, matches []expr.ID)) *Stream {
 	opts.sanitize()
-	return &Stream{
+	s := &Stream{
 		eng:     e,
 		opts:    opts,
 		deliver: deliver,
 		buf:     osr.NewBuffer(opts.Window),
 	}
+	if e.met != nil {
+		s.buf.TrackDistance(true)
+	}
+	return s
 }
 
 // Publish submits an event. It may synchronously flush a full window
@@ -62,17 +80,28 @@ func (s *Stream) Publish(ev *expr.Event) {
 		s.mu.Unlock()
 		return
 	}
-	wasEmpty := s.buf.Pending() == 0
-	batch := s.buf.Add(ev)
-	if batch == nil && wasEmpty && s.buf.Pending() > 0 {
-		s.armTimer()
+	m := s.eng.met
+	if m != nil {
+		m.streamEvents.Inc()
 	}
+	batch := s.buf.Add(ev)
+	var dist int
 	if batch != nil {
+		if m != nil {
+			m.streamFlushFull.Inc()
+			dist = s.buf.LastDistance()
+		}
 		s.stopTimer()
+		s.inflight.Add(1)
+	} else if s.timer == nil && s.buf.Pending() > 0 {
+		// Covers both a fresh window and one whose deadline callback was
+		// invalidated before it could flush.
+		s.armTimer()
 	}
 	s.mu.Unlock()
 	if batch != nil {
-		s.process(batch)
+		s.process(batch, dist)
+		s.inflight.Done()
 	}
 }
 
@@ -81,14 +110,47 @@ func (s *Stream) armTimer() {
 	if s.opts.Window <= 1 {
 		return
 	}
-	s.timer = time.AfterFunc(s.opts.MaxDelay, s.Flush)
+	s.timerGen++
+	gen := s.timerGen
+	s.timer = time.AfterFunc(s.opts.MaxDelay, func() { s.deadlineFlush(gen) })
 }
 
 // stopTimer cancels a pending deadline flush; the caller holds s.mu.
+// Bumping the generation also neutralises a callback that has already
+// fired but not yet acquired the lock.
 func (s *Stream) stopTimer() {
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
+	}
+	s.timerGen++
+}
+
+// deadlineFlush is the timer callback for the window generation gen.
+func (s *Stream) deadlineFlush(gen uint64) {
+	s.mu.Lock()
+	if s.closed || gen != s.timerGen {
+		// The window this deadline belonged to was already flushed (or
+		// the stream closed); flushing now would release a newer partial
+		// window before its own deadline.
+		s.mu.Unlock()
+		return
+	}
+	s.timer = nil
+	s.timerGen++
+	batch := s.buf.Flush()
+	var dist int
+	if batch != nil {
+		if m := s.eng.met; m != nil {
+			m.streamFlushDeadline.Inc()
+			dist = s.buf.LastDistance()
+		}
+		s.inflight.Add(1)
+	}
+	s.mu.Unlock()
+	if batch != nil {
+		s.process(batch, dist)
+		s.inflight.Done()
 	}
 }
 
@@ -99,15 +161,40 @@ func (s *Stream) Flush() {
 		s.mu.Unlock()
 		return
 	}
-	s.stopTimer()
-	batch := s.buf.Flush()
+	batch, dist := s.flushLocked()
 	s.mu.Unlock()
 	if batch != nil {
-		s.process(batch)
+		s.process(batch, dist)
+		s.inflight.Done()
 	}
 }
 
-func (s *Stream) process(batch []*expr.Event) {
+// flushLocked drains the buffer and accounts a manual flush; the caller
+// holds s.mu and must process the batch then Done the inflight count.
+func (s *Stream) flushLocked() ([]*expr.Event, int) {
+	s.stopTimer()
+	batch := s.buf.Flush()
+	var dist int
+	if batch != nil {
+		if m := s.eng.met; m != nil {
+			m.streamFlushManual.Inc()
+			dist = s.buf.LastDistance()
+		}
+		s.inflight.Add(1)
+	}
+	return batch, dist
+}
+
+func (s *Stream) process(batch []*expr.Event, dist int) {
+	m := s.eng.met
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+		if w := s.buf.Window(); w > 1 {
+			m.streamFill.Observe(float64(len(batch)) / float64(w) * 100)
+		}
+		m.streamReorder.Observe(float64(dist))
+	}
 	// Re-ordering makes identical events adjacent; match each distinct
 	// event once and fan the result out. dedup[i] is the index in
 	// `unique` whose result event i reuses.
@@ -125,6 +212,10 @@ func (s *Stream) process(batch []*expr.Event) {
 	for i, ev := range batch {
 		s.deliver(ev, results[dedup[i]])
 	}
+	if m != nil {
+		m.streamDedupHits.Add(int64(len(batch) - len(unique)))
+		m.streamFlushLatency.ObserveDuration(time.Since(start))
+	}
 }
 
 // Pending returns the number of buffered, not-yet-matched events.
@@ -134,12 +225,24 @@ func (s *Stream) Pending() int {
 	return s.buf.Pending()
 }
 
-// Close flushes buffered events and stops the stream. Publishes after
-// Close are dropped. Close is idempotent.
+// Close flushes buffered events, stops the stream and waits for every
+// in-flight delivery (including deadline flushes racing with it) to
+// finish: after Close returns, deliver will not be invoked again.
+// Publishes after Close are dropped. Close is idempotent, and
+// concurrent Closes all wait.
 func (s *Stream) Close() {
-	s.Flush()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.inflight.Wait()
+		return
+	}
+	batch, dist := s.flushLocked()
 	s.closed = true
-	s.stopTimer()
 	s.mu.Unlock()
+	if batch != nil {
+		s.process(batch, dist)
+		s.inflight.Done()
+	}
+	s.inflight.Wait()
 }

@@ -1,0 +1,186 @@
+package apcm_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+)
+
+// seqOf extracts the unique sequence number a racing test stamps into
+// attribute 2 of every event.
+func seqOf(t *testing.T, ev *expr.Event) int {
+	t.Helper()
+	for _, p := range ev.Pairs() {
+		if p.Attr == 2 {
+			return int(p.Val)
+		}
+	}
+	t.Fatal("event carries no sequence attribute")
+	return -1
+}
+
+// TestStreamExactlyOnceUnderFlushRace hammers Publish against manual
+// Flush calls and fast deadline timers: every published event must be
+// delivered exactly once — a timer firing concurrently with a window
+// flush must neither drop nor double-deliver a batch.
+func TestStreamExactlyOnceUnderFlushRace(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+
+	const (
+		publishers   = 4
+		perPublisher = 500
+		total        = publishers * perPublisher
+	)
+	var counts [total]atomic.Int32
+	var afterClose atomic.Int32
+	closedFlag := &atomic.Bool{}
+	s := e.NewStream(apcm.StreamOptions{Window: 8, MaxDelay: 200 * time.Microsecond},
+		func(ev *expr.Event, _ []expr.ID) {
+			if closedFlag.Load() {
+				afterClose.Add(1)
+			}
+			counts[seqOf(t, ev)].Add(1)
+		})
+
+	var wg sync.WaitGroup
+	var seq atomic.Int32
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				n := seq.Add(1) - 1
+				s.Publish(expr.MustEvent(
+					expr.P(1, expr.Value(n%10)),
+					expr.P(2, expr.Value(n)),
+				))
+			}
+		}()
+	}
+	// Concurrent manual flushers maximise contention on the window.
+	stopFlush := make(chan struct{})
+	var fwg sync.WaitGroup
+	for f := 0; f < 2; f++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			for {
+				select {
+				case <-stopFlush:
+					return
+				default:
+					s.Flush()
+					s.Pending()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopFlush)
+	fwg.Wait()
+	s.Close()
+	closedFlag.Store(true)
+
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("event %d delivered %d times, want exactly once", i, got)
+		}
+	}
+	// Close waited for every in-flight delivery, so nothing can arrive
+	// once the flag is set; give a late delivery a moment to show up.
+	time.Sleep(20 * time.Millisecond)
+	if n := afterClose.Load(); n != 0 {
+		t.Fatalf("%d deliveries after Close returned", n)
+	}
+}
+
+// TestStreamCloseRace races Close against publishers and deadline
+// timers across many short-lived streams: deliveries may be dropped by
+// Close but never duplicated, and none may arrive after Close returns.
+func TestStreamCloseRace(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+
+	for round := 0; round < 30; round++ {
+		const total = 256
+		var counts [total]atomic.Int32
+		closedFlag := &atomic.Bool{}
+		var afterClose atomic.Int32
+		s := e.NewStream(apcm.StreamOptions{Window: 4, MaxDelay: 100 * time.Microsecond},
+			func(ev *expr.Event, _ []expr.ID) {
+				if closedFlag.Load() {
+					afterClose.Add(1)
+				}
+				counts[seqOf(t, ev)].Add(1)
+			})
+
+		var wg sync.WaitGroup
+		var seq atomic.Int32
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := seq.Add(1) - 1
+					if n >= total {
+						return
+					}
+					s.Publish(expr.MustEvent(
+						expr.P(1, expr.Value(n%10)),
+						expr.P(2, expr.Value(n)),
+					))
+				}
+			}()
+		}
+		// Close mid-stream, racing the publishers and any armed timer.
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		s.Close()
+		closedFlag.Store(true)
+		wg.Wait()
+
+		for i := range counts {
+			if got := counts[i].Load(); got > 1 {
+				t.Fatalf("round %d: event %d delivered %d times", round, i, got)
+			}
+		}
+		if n := afterClose.Load(); n != 0 {
+			t.Fatalf("round %d: %d deliveries after Close returned", round, n)
+		}
+		// A second Close must be safe and also wait.
+		s.Close()
+	}
+}
+
+// TestStreamDeadlineFlushStillWorksAfterRace verifies the generation
+// logic does not lose deadline flushes: after a full-window flush races
+// a firing timer, a subsequent partial window must still flush by its
+// own deadline rather than waiting forever.
+func TestStreamDeadlineFlushStillWorksAfterRace(t *testing.T) {
+	e := newStreamEngine(t)
+	defer e.Close()
+	var c collector
+	s := e.NewStream(apcm.StreamOptions{Window: 3, MaxDelay: 5 * time.Millisecond}, c.deliver)
+	defer s.Close()
+
+	for round := 0; round < 20; round++ {
+		// Fill a window exactly (synchronous flush), then leave one event
+		// buffered; it must arrive via the deadline path.
+		for i := 0; i < 3; i++ {
+			s.Publish(expr.MustEvent(expr.P(1, expr.Value(i))))
+		}
+		s.Publish(expr.MustEvent(expr.P(1, 9)))
+		want := round*4 + 4
+		deadline := time.Now().Add(2 * time.Second)
+		for c.count() != want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if c.count() != want {
+			t.Fatalf("round %d: delivered %d, want %d (deadline flush lost)", round, c.count(), want)
+		}
+	}
+}

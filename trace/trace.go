@@ -153,6 +153,19 @@ func (t *Reader) Kind() Kind { return t.kind }
 // Remaining returns the number of unread records.
 func (t *Reader) Remaining() int { return int(t.left) }
 
+// prealloc bounds a slice capacity derived from the declared record
+// count: the count is untrusted input and must not size an allocation
+// by itself (a corrupt header could declare 2^63 records, which would
+// overflow int or OOM before the first record read fails).
+func (t *Reader) prealloc() int {
+	const limit = 1 << 16
+	n := t.Remaining()
+	if n < 0 || n > limit {
+		return limit
+	}
+	return n
+}
+
 // maxRecord guards against corrupt length prefixes.
 const maxRecord = 1 << 22
 
@@ -240,7 +253,7 @@ func ReadExpressions(r io.Reader) ([]*expr.Expression, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*expr.Expression, 0, t.Remaining())
+	out := make([]*expr.Expression, 0, t.prealloc())
 	for {
 		x, err := t.ReadExpression()
 		if err == io.EOF {
@@ -273,7 +286,7 @@ func ReadEvents(r io.Reader) ([]*expr.Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*expr.Event, 0, t.Remaining())
+	out := make([]*expr.Event, 0, t.prealloc())
 	for {
 		e, err := t.ReadEvent()
 		if err == io.EOF {
