@@ -1,0 +1,91 @@
+package apcm_test
+
+import (
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/osr"
+)
+
+// Allocation regression gates for the zero-allocation hot path. The
+// steady state of Match, MatchBatchInto and the OSR flush/recycle cycle
+// must not allocate; a tolerance of 0.5 allocs/run absorbs the rare
+// sync.Pool refill after a GC cycle empties the scratch pool mid-run
+// (the same tolerance the scheduler's alloc gate uses).
+const allocTolerance = 0.5
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race runtime makes sync.Pool drop puts at random; alloc gates only hold on plain builds")
+	}
+}
+
+func allocEngine(tb testing.TB, seed int64, nexprs int) (*apcm.Engine, []*expr.Event) {
+	tb.Helper()
+	g := testWorkload(seed)
+	// Workers: 1 keeps the engine pool-free so the gates measure the
+	// sequential hot path deterministically on any host.
+	e := apcm.MustNew(apcm.Options{Workers: 1})
+	tb.Cleanup(e.Close)
+	for _, x := range g.Expressions(nexprs) {
+		if err := e.Subscribe(x); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	e.Prepare()
+	return e, g.Events(256)
+}
+
+func TestMatchSteadyStateZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	e, events := allocEngine(t, 31, 3000)
+	dst := make([]expr.ID, 0, 1024)
+	for _, ev := range events { // warm scratch pool, caches, adaptive state
+		dst = e.MatchAppend(dst[:0], ev)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(400, func() {
+		dst = e.MatchAppend(dst[:0], events[i%len(events)])
+		i++
+	})
+	if avg > allocTolerance {
+		t.Fatalf("MatchAppend allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+func TestMatchBatchIntoSteadyStateZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	e, events := allocEngine(t, 37, 3000)
+	batch := events[:128]
+	var r apcm.BatchResult
+	for k := 0; k < 8; k++ { // warm: grow r's arenas, memo table, caches
+		e.MatchBatchInto(batch, &r)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		e.MatchBatchInto(batch, &r)
+	})
+	if avg > allocTolerance {
+		t.Fatalf("MatchBatchInto allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+func TestOSRFlushRecycleZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	g := testWorkload(41)
+	events := g.Events(64)
+	b := osr.NewBuffer(len(events))
+	fill := func() {
+		for _, ev := range events {
+			if batch := b.Add(ev); batch != nil {
+				b.Recycle(batch)
+			}
+		}
+	}
+	fill() // warm the slab pools
+	avg := testing.AllocsPerRun(200, fill)
+	if avg > allocTolerance {
+		t.Fatalf("OSR fill+flush+recycle allocates %.2f/window, want 0", avg)
+	}
+}

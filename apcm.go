@@ -135,6 +135,12 @@ type Options struct {
 	// default (16).
 	IntraEventParallelism int
 
+	// DisableBatchMemo turns off the cross-event predicate memoization
+	// of the batch match path (MatchBatchInto and streams), leaving only
+	// per-event matching. An ablation switch for experiments; keep it
+	// off in production.
+	DisableBatchMemo bool
+
 	// Normalize canonicalises subscriptions on Subscribe (merging
 	// redundant predicates per attribute; see expr.Expression.Normalize)
 	// and rejects provably unsatisfiable ones with ErrUnsatisfiable.
@@ -178,6 +184,13 @@ type Engine struct {
 
 	pool      *sched.Pool
 	scratches sync.Pool // *core.Scratch
+	intraJobs sync.Pool // *intraJob
+
+	// Scratch-pool effectiveness (recorded only with metrics attached):
+	// gets per match operation vs. misses that allocated a fresh scratch.
+	// recycle rate = 1 - news/gets.
+	scratchGets atomic.Int64
+	scratchNews atomic.Int64
 
 	nextID atomic.Uint64
 	mem    match.MemReporter
@@ -211,9 +224,13 @@ func New(opts Options) (*Engine, error) {
 		if opts.ProbeInterval > 0 {
 			cfg.ProbeInterval = opts.ProbeInterval
 		}
+		cfg.DisableMemo = opts.DisableBatchMemo
 		e.cm = core.New(cfg)
 		e.mem = e.cm
-		e.scratches.New = func() any { return e.cm.NewScratch() }
+		e.scratches.New = func() any {
+			e.scratchNews.Add(1)
+			return e.cm.NewScratch()
+		}
 	case BETree:
 		cfg := betree.DefaultConfig()
 		if opts.ClusterSize > 0 {
@@ -380,6 +397,29 @@ func (e *Engine) matchAppendUninstrumented(dst []expr.ID, ev *expr.Event) []expr
 	return e.matchAppendLocked(dst, ev)
 }
 
+// getScratch and putScratch wrap the scratch pool with recycle-rate
+// accounting; the counter is only touched when metrics are attached so
+// the uninstrumented hot path stays atomic-free.
+func (e *Engine) getScratch() *core.Scratch {
+	if e.met != nil {
+		e.scratchGets.Add(1)
+	}
+	return e.scratches.Get().(*core.Scratch)
+}
+
+func (e *Engine) putScratch(s *core.Scratch) { e.scratches.Put(s) }
+
+// intraJob is the pooled per-call state of the intra-event parallel
+// path: candidate pools, their cost weights, and per-lane result and
+// scratch slots. Pooling it keeps the fan-out path free of per-call
+// slice allocations.
+type intraJob struct {
+	pools   []*betree.Pool
+	weights []int64
+	parts   [][]expr.ID
+	scr     []*core.Scratch
+}
+
 func (e *Engine) matchAppendLocked(dst []expr.ID, ev *expr.Event) []expr.ID {
 	if e.cm == nil {
 		if e.smStateful {
@@ -388,40 +428,56 @@ func (e *Engine) matchAppendLocked(dst []expr.ID, ev *expr.Event) []expr.ID {
 		}
 		return e.sm.MatchAppend(dst, ev)
 	}
-	s := e.scratches.Get().(*core.Scratch)
-	defer e.scratches.Put(s)
+	s := e.getScratch()
+	defer e.putScratch(s)
 	if e.pool == nil {
 		return e.cm.MatchWith(s, dst, ev)
 	}
-	pools := e.cm.CollectPools(nil, ev)
-	if len(pools) < e.opts.IntraEventParallelism {
-		for _, p := range pools {
+	j, _ := e.intraJobs.Get().(*intraJob)
+	if j == nil {
+		j = &intraJob{}
+	}
+	j.pools = e.cm.CollectPools(j.pools[:0], ev)
+	if len(j.pools) < e.opts.IntraEventParallelism {
+		for _, p := range j.pools {
 			dst = e.cm.MatchPool(s, dst, p, ev)
 		}
+		e.intraJobs.Put(j)
 		return dst
 	}
-	// Intra-event parallelism: shard candidate clusters across workers.
+	// Intra-event parallelism: shard candidate clusters across workers,
+	// weighting each cluster by its probed per-event cost so one
+	// mega-cluster does not serialise a lane while cheap ones idle.
+	j.weights = e.cm.PoolCostAppend(j.weights[:0], j.pools)
 	nw := e.pool.Workers() + 1 // workers plus the calling goroutine
-	parts := make([][]expr.ID, nw)
-	scratches := make([]*core.Scratch, nw)
-	e.pool.Run(len(pools), func(w, i int) {
+	if cap(j.parts) < nw {
+		j.parts = make([][]expr.ID, nw)
+		j.scr = make([]*core.Scratch, nw)
+	}
+	parts, scratches := j.parts[:nw], j.scr[:nw]
+	pools := j.pools
+	e.pool.RunWeighted(j.weights, func(w, i int) {
 		if scratches[w] == nil {
-			scratches[w] = e.scratches.Get().(*core.Scratch)
+			scratches[w] = e.getScratch()
 		}
 		parts[w] = e.cm.MatchPool(scratches[w], parts[w], pools[i], ev)
 	})
-	for w, part := range parts {
-		dst = append(dst, part...)
+	for w := range parts {
+		dst = append(dst, parts[w]...)
+		parts[w] = parts[w][:0]
 		if scratches[w] != nil {
-			e.scratches.Put(scratches[w])
+			e.putScratch(scratches[w])
+			scratches[w] = nil
 		}
 	}
+	e.intraJobs.Put(j)
 	return dst
 }
 
 // MatchBatch matches a batch of events, returning one id slice per
-// event. With a worker pool and a parallel-safe algorithm the events are
-// matched concurrently (inter-event parallelism).
+// event. It is a convenience wrapper over MatchBatchInto that allocates
+// fresh, caller-owned result slices; throughput-sensitive callers should
+// reuse a BatchResult with MatchBatchInto instead.
 func (e *Engine) MatchBatch(events []*expr.Event) [][]expr.ID {
 	if m := e.met; m != nil {
 		start := time.Now()
@@ -434,26 +490,30 @@ func (e *Engine) MatchBatch(events []*expr.Event) [][]expr.ID {
 }
 
 func (e *Engine) matchBatchUninstrumented(events []*expr.Event) [][]expr.ID {
+	out := make([][]expr.ID, len(events))
+	if len(events) == 0 {
+		return out
+	}
+	if e.cm != nil {
+		// Compressed matchers go through the batch kernel (locality sort,
+		// cross-event memoization, duplicate sharing); copy the packed
+		// segments into caller-owned slices.
+		r := batchResults.Get().(*BatchResult)
+		e.matchBatchInto(events, r)
+		for i := range out {
+			if seg := r.For(i); len(seg) > 0 {
+				out[i] = append([]expr.ID(nil), seg...)
+			}
+		}
+		batchResults.Put(r)
+		return out
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
-		return make([][]expr.ID, len(events))
+		return out
 	}
-	out := make([][]expr.ID, len(events))
-	switch {
-	case e.cm != nil && e.pool != nil:
-		e.pool.Run(len(events), func(_ int, i int) {
-			s := e.scratches.Get().(*core.Scratch)
-			out[i] = e.cm.MatchWith(s, nil, events[i])
-			e.scratches.Put(s)
-		})
-	case e.cm != nil:
-		s := e.scratches.Get().(*core.Scratch)
-		for i, ev := range events {
-			out[i] = e.cm.MatchWith(s, nil, ev)
-		}
-		e.scratches.Put(s)
-	case e.smStateful || e.pool == nil:
+	if e.smStateful || e.pool == nil {
 		if e.smStateful {
 			e.smMu.Lock()
 			defer e.smMu.Unlock()
@@ -461,7 +521,7 @@ func (e *Engine) matchBatchUninstrumented(events []*expr.Event) [][]expr.ID {
 		for i, ev := range events {
 			out[i] = e.sm.MatchAppend(nil, ev)
 		}
-	default:
+	} else {
 		// Stateless sequential matchers (Scan, BETree) are read-only
 		// during matching, so inter-event parallelism is safe.
 		e.pool.Run(len(events), func(_ int, i int) {
@@ -506,6 +566,19 @@ type Stats struct {
 	// (A-PCM only).
 	Probes      int64
 	KernelFlips int64
+	// Batch-path cache effectiveness, cumulative over all MatchBatchInto
+	// calls (compressed matchers only): cross-event predicate memo
+	// lookups/hits, per-cluster eligibility-cache lookups/hits, and
+	// events answered from an adjacent equal event's result.
+	MemoHits    int64
+	MemoLookups int64
+	EligHits    int64
+	EligLookups int64
+	BatchDedups int64
+	// ScratchGets/ScratchNews describe scratch-pool recycling (recorded
+	// only with metrics attached): recycle rate = 1 − News/Gets.
+	ScratchGets int64
+	ScratchNews int64
 }
 
 // Stats returns a snapshot of engine statistics.
@@ -519,6 +592,8 @@ func (e *Engine) Stats() Stats {
 	if e.closed {
 		return st
 	}
+	st.ScratchGets = e.scratchGets.Load()
+	st.ScratchNews = e.scratchNews.Load()
 	if e.cm != nil {
 		st.Subscriptions = e.cm.Size()
 		st.MemBytes = e.cm.MemBytes()
@@ -528,6 +603,7 @@ func (e *Engine) Stats() Stats {
 		st.CompressedServing = cs.CompressedServing
 		st.Probes = cs.Probes
 		st.KernelFlips = cs.FlipsToCompressed + cs.FlipsToUncompressed
+		st.MemoHits, st.MemoLookups, st.EligHits, st.EligLookups, st.BatchDedups = e.cm.BatchCounters()
 		return st
 	}
 	st.Subscriptions = e.sm.Size()

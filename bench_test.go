@@ -1,4 +1,4 @@
-// Go benchmarks, one per evaluation table/figure (E1–E14; DESIGN.md §4).
+// Go benchmarks, one per evaluation table/figure (E1–E17; DESIGN.md §4).
 // Each benchmark is the testing.B twin of the corresponding experiment
 // in cmd/apcm-bench: identical workloads at CI-friendly sizes, with
 // events/s reported as a custom metric. Run the binary for the full
@@ -247,8 +247,9 @@ func BenchmarkE9IndexBuild(b *testing.B) {
 func BenchmarkE10BatchSize(b *testing.B) {
 	xs, events := benchWorkload(b, benchParams(), 10000, 2000)
 	e := benchEngine(b, apcm.Options{}, xs)
-	for _, batch := range []int{1, 64, 1024} {
+	for _, batch := range []int{1, 64, 256, 1024} {
 		b.Run("batch="+itoa(batch), func(b *testing.B) {
+			var r apcm.BatchResult
 			b.ReportAllocs()
 			b.ResetTimer()
 			processed := 0
@@ -258,11 +259,52 @@ func BenchmarkE10BatchSize(b *testing.B) {
 				if end > len(events) {
 					end = len(events)
 				}
-				e.MatchBatch(events[off:end])
+				e.MatchBatchInto(events[off:end], &r)
 				processed += end - off
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// ---- E17 (ablation): cross-event memoization -------------------------------------------
+
+func BenchmarkE17BatchMemo(b *testing.B) {
+	p := benchParams()
+	p.AttrZipf = 1.2
+	p.ValueZipf = 1.2
+	xs, events := benchWorkload(b, p, 10000, 2048)
+	osr.Reorder(events) // locality order, as the OSR window would deliver
+	const batch = 256
+	for _, memo := range []bool{true, false} {
+		name := "memo=on"
+		if !memo {
+			name = "memo=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := benchEngine(b, apcm.Options{DisableBatchMemo: !memo}, xs)
+			var r apcm.BatchResult
+			b.ReportAllocs()
+			b.ResetTimer()
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % len(events)
+				end := off + batch
+				if end > len(events) {
+					end = len(events)
+				}
+				e.MatchBatchInto(events[off:end], &r)
+				processed += end - off
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "events/s")
+			if memo {
+				st := e.Stats()
+				if st.MemoLookups > 0 {
+					b.ReportMetric(float64(st.MemoHits)/float64(st.MemoLookups)*100, "memo-hit-%")
+				}
+			}
 		})
 	}
 }

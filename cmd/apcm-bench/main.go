@@ -14,6 +14,12 @@
 // /metrics.json, /debug/pprof) while experiments run, and logs a metrics
 // summary line every -metrics-log interval — useful for watching a
 // multi-hour scale-50 run or grabbing a CPU profile mid-experiment.
+//
+// Profiling: -cpuprofile covers the whole run; -memprofile writes a heap
+// profile at exit (after a final GC, so it shows retained memory, not
+// transient garbage); -allocs prints per-experiment totals of heap
+// objects and bytes allocated — a quick allocation-regression check that
+// needs no pprof round trip.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		measure = flag.Duration("measure", 500*time.Millisecond, "minimum measurement time per data point")
 		csv     = flag.Bool("csv", false, "emit tables as CSV")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		allocs  = flag.Bool("allocs", false, "report heap allocation totals per experiment")
 		metAddr = flag.String("metrics-addr", "", "optional observability address (serves /metrics, /metrics.json and /debug/pprof)")
 		metLog  = flag.Duration("metrics-log", 0, "log a metrics summary line at this interval (0 disables; needs -metrics-addr)")
 	)
@@ -109,16 +117,53 @@ func main() {
 	}
 	fmt.Printf("apcm-bench: %d experiment(s), scale=%.2f workers=%d GOMAXPROCS=%d\n\n",
 		len(selected), *scale, *workers, runtime.GOMAXPROCS(0))
+	var before runtime.MemStats
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Printf("== %s: %s\n   paper shape: %s\n", e.ID, e.Title, e.Expect)
+		if *allocs {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "apcm-bench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Printf("   (%s elapsed)\n", time.Since(start).Round(time.Millisecond))
+		if *allocs {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			fmt.Printf("   allocs: %d objects, %s heap-allocated\n",
+				after.Mallocs-before.Mallocs, formatBytes(after.TotalAlloc-before.TotalAlloc))
+		}
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle retained heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("apcm-bench: heap profile written to %s\n", *memProf)
+	}
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }

@@ -1,0 +1,134 @@
+// Command apcm-benchjson converts `go test -bench` output on stdin into
+// a machine-readable JSON summary, so CI can archive benchmark numbers
+// (throughput and allocation rates) as a build artifact and diff them
+// across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'E1|E8|E10' -benchmem . | \
+//	    go run ./cmd/apcm-benchjson -out BENCH.json
+//
+// Each selected benchmark line becomes one entry with every reported
+// metric: ns/op, the custom events/s metric, and (with -benchmem)
+// B/op and allocs/op. Lines that are not benchmark results pass through
+// untouched to stderr so the human-readable log survives the pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark result line.
+type entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	EventsPerS  float64 `json:"events_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any custom metrics beyond the known units.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output file (default stdout)")
+		match = flag.String("match", ".", "regexp selecting benchmark names to include")
+	)
+	flag.Parse()
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apcm-benchjson: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+
+	var (
+		entries           []entry
+		goos, goarch, pkg string
+	)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		if e, ok := parseLine(line); ok && re.MatchString(e.Name) {
+			entries = append(entries, e)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "apcm-benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	doc := struct {
+		GOOS       string  `json:"goos,omitempty"`
+		GOARCH     string  `json:"goarch,omitempty"`
+		Pkg        string  `json:"pkg,omitempty"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{goos, goarch, pkg, entries}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apcm-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "apcm-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `Benchmark.../sub-1  N  123 ns/op  456 unit ...`
+// result line; ok is false for anything else.
+func parseLine(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "events/s":
+			e.EventsPerS = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Extra == nil {
+				e.Extra = make(map[string]float64)
+			}
+			e.Extra[unit] = v
+		}
+	}
+	return e, true
+}

@@ -102,10 +102,27 @@ func (e *Engine) unsubscribeGroupLocked(id expr.ID) (bool, bool) {
 	return true, all
 }
 
+// dedupLinearMax bounds the result sizes de-duplicated by linear scan:
+// below it the scan beats allocating a map, and typical per-event match
+// lists are far smaller.
+const dedupLinearMax = 32
+
 // translate rewrites raw match ids through the DNF alias table,
 // de-duplicating group ids that matched through several disjuncts. It
 // is called with at least a read lock held and only when aliases exist.
 func (e *Engine) translate(ids []expr.ID) []expr.ID {
+	if len(ids) <= dedupLinearMax {
+		out := ids[:0]
+		for _, id := range ids {
+			if g, ok := e.alias[id]; ok {
+				id = g
+			}
+			if !containsID(out, id) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
 	seen := make(map[expr.ID]bool, len(ids))
 	out := ids[:0]
 	for _, id := range ids {
@@ -119,6 +136,44 @@ func (e *Engine) translate(ids []expr.ID) []expr.ID {
 		out = append(out, id)
 	}
 	return out
+}
+
+// translateAppend is translate in append style for the batch path: the
+// translated, de-duplicated ids are appended to dst (which must not
+// alias ids) and the extended slice returned.
+func (e *Engine) translateAppend(dst []expr.ID, ids []expr.ID) []expr.ID {
+	head := len(dst)
+	if len(ids) <= dedupLinearMax {
+		for _, id := range ids {
+			if g, ok := e.alias[id]; ok {
+				id = g
+			}
+			if !containsID(dst[head:], id) {
+				dst = append(dst, id)
+			}
+		}
+		return dst
+	}
+	seen := make(map[expr.ID]bool, len(ids))
+	for _, id := range ids {
+		if g, ok := e.alias[id]; ok {
+			id = g
+		}
+		if !seen[id] {
+			seen[id] = true
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+func containsID(ids []expr.ID, id expr.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // hasAliases reports whether any DNF groups are live; callers hold at

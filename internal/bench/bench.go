@@ -1,6 +1,7 @@
 // Package bench is the experiment harness: every table and figure of
-// the evaluation (E1–E14, see DESIGN.md §4) is a named, runnable
-// experiment that regenerates the corresponding rows/series. The
+// the evaluation (E1–E14, see DESIGN.md §4) plus the beyond-paper
+// ablations (E15–E17) is a named, runnable experiment that regenerates
+// the corresponding rows/series. The
 // cmd/apcm-bench binary and the repository-level Go benchmarks are thin
 // wrappers over this package.
 //
@@ -91,7 +92,7 @@ var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
 
-// All returns every experiment in numeric id order (E1, E2, ... E16),
+// All returns every experiment in numeric id order (E1, E2, ... E17),
 // regardless of registration order across files.
 func All() []Experiment {
 	out := make([]Experiment, len(registry))
@@ -145,13 +146,27 @@ func buildEngine(cfg Config, alg apcm.Algorithm, workers int, xs []*expr.Express
 // throughput measures sustained matching throughput (events/second) by
 // replaying events in batches until at least minDur has elapsed.
 func throughput(e *apcm.Engine, events []*expr.Event, minDur time.Duration) float64 {
-	const batch = 64
+	return batchThroughput(e, events, 64, minDur)
+}
+
+// batchThroughput is throughput with an explicit batch size, driving the
+// zero-copy MatchBatchInto path with a reused result so the measurement
+// reflects the kernel, not result-slice churn.
+func batchThroughput(e *apcm.Engine, events []*expr.Event, batch int, minDur time.Duration) float64 {
+	rate, _ := batchThroughputN(e, events, batch, minDur)
+	return rate
+}
+
+// batchThroughputN additionally returns the number of events processed
+// during the measured window, for ratio metrics (dedup per event).
+func batchThroughputN(e *apcm.Engine, events []*expr.Event, batch int, minDur time.Duration) (float64, int) {
+	var r apcm.BatchResult
 	// Warm up: compile clusters, settle adaptive estimates.
 	warm := len(events)
 	if warm > 2*batch {
 		warm = 2 * batch
 	}
-	e.MatchBatch(events[:warm])
+	e.MatchBatchInto(events[:warm], &r)
 
 	start := time.Now()
 	n := 0
@@ -161,7 +176,7 @@ func throughput(e *apcm.Engine, events []*expr.Event, minDur time.Duration) floa
 			if end > len(events) {
 				end = len(events)
 			}
-			e.MatchBatch(events[off:end])
+			e.MatchBatchInto(events[off:end], &r)
 			n += end - off
 			if n >= batch && time.Since(start) >= minDur {
 				break
@@ -170,9 +185,9 @@ func throughput(e *apcm.Engine, events []*expr.Event, minDur time.Duration) floa
 	}
 	sec := time.Since(start).Seconds()
 	if sec <= 0 {
-		return 0
+		return 0, n
 	}
-	return float64(n) / sec
+	return float64(n) / sec, n
 }
 
 // measureAlgorithms builds one engine per algorithm over xs and returns

@@ -393,6 +393,44 @@ func (t *Tree) visit(n *node, e *expr.Event, fn func(*Pool)) {
 	}
 }
 
+// CollectPoolsAppend is CollectPools in append style: candidate pools
+// for e are appended to dst and the extended slice returned. It exists
+// for the hot match path — the visitor form forces a closure allocation
+// per call on the caller, this form performs none.
+func (t *Tree) CollectPoolsAppend(dst []*Pool, e *expr.Event) []*Pool {
+	return t.collect(t.root, e, dst)
+}
+
+func (t *Tree) collect(n *node, e *expr.Event, dst []*Pool) []*Pool {
+	if len(n.pool.Exprs) > 0 {
+		dst = append(dst, &n.pool)
+	}
+	if len(n.parts) == 0 {
+		return dst
+	}
+	for _, pair := range e.Pairs() {
+		part, ok := n.parts[pair.Attr]
+		if !ok {
+			continue
+		}
+		if bn := part.eq[pair.Val]; bn != nil {
+			dst = t.collect(bn, e, dst)
+		}
+		for c := part.root; c != nil; {
+			if c.n != nil {
+				dst = t.collect(c.n, e, dst)
+			}
+			mid := midpoint(c.lo, c.hi)
+			if pair.Val <= mid {
+				c = c.left
+			} else {
+				c = c.right
+			}
+		}
+	}
+	return dst
+}
+
 // ForEach visits every indexed expression. fn returning false stops the
 // walk. Must not run concurrently with Insert or Delete.
 func (t *Tree) ForEach(fn func(*expr.Expression) bool) {

@@ -92,8 +92,20 @@ func (b *Bitset) trim() {
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	c := 0
-	for _, w := range b.words {
-		c += bits.OnesCount64(w)
+	w := b.words
+	// Four-wide unroll: popcounts have no cross-iteration dependency, so
+	// splitting the accumulator lets the CPU retire several per cycle.
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		c0 += bits.OnesCount64(w[i])
+		c1 += bits.OnesCount64(w[i+1])
+		c2 += bits.OnesCount64(w[i+2])
+		c3 += bits.OnesCount64(w[i+3])
+	}
+	c = c0 + c1 + c2 + c3
+	for ; i < len(w); i++ {
+		c += bits.OnesCount64(w[i])
 	}
 	return c
 }
@@ -113,8 +125,10 @@ func (b *Bitset) Any() bool { return !b.None() }
 
 // And sets b = b AND other in place.
 func (b *Bitset) And(other *Bitset) {
-	for i := range b.words {
-		b.words[i] &= other.words[i]
+	bw := b.words
+	ow := other.words[:len(bw)]
+	for i := range bw {
+		bw[i] &= ow[i]
 	}
 }
 
@@ -122,13 +136,28 @@ func (b *Bitset) And(other *Bitset) {
 // compressed matching: killing every subscription that contains a failed
 // predicate. It returns true when b became empty, enabling early exit.
 func (b *Bitset) AndNot(other *Bitset) bool {
-	var acc uint64
-	bw, ow := b.words, other.words
-	for i := range bw {
-		bw[i] &^= ow[i]
-		acc |= bw[i]
+	var a0, a1, a2, a3 uint64
+	bw := b.words
+	ow := other.words[:len(bw)]
+	i := 0
+	// Four-wide unroll with split accumulators: the emptiness OR-chain is
+	// otherwise a serial dependency through every word.
+	for ; i+4 <= len(bw); i += 4 {
+		w0 := bw[i] &^ ow[i]
+		w1 := bw[i+1] &^ ow[i+1]
+		w2 := bw[i+2] &^ ow[i+2]
+		w3 := bw[i+3] &^ ow[i+3]
+		bw[i], bw[i+1], bw[i+2], bw[i+3] = w0, w1, w2, w3
+		a0 |= w0
+		a1 |= w1
+		a2 |= w2
+		a3 |= w3
 	}
-	return acc == 0
+	for ; i < len(bw); i++ {
+		bw[i] &^= ow[i]
+		a0 |= bw[i]
+	}
+	return a0|a1|a2|a3 == 0
 }
 
 // AndUnion sets b = b AND (sat OR NOT mask) in place: a member survives
@@ -136,13 +165,27 @@ func (b *Bitset) AndNot(other *Bitset) bool {
 // to it. This is the compressed kernel's per-attribute step. It returns
 // true when b became empty, enabling early exit.
 func (b *Bitset) AndUnion(sat, mask *Bitset) bool {
-	var acc uint64
-	bw, sw, mw := b.words, sat.words, mask.words
-	for i := range bw {
-		bw[i] &= sw[i] | ^mw[i]
-		acc |= bw[i]
+	var a0, a1, a2, a3 uint64
+	bw := b.words
+	sw := sat.words[:len(bw)]
+	mw := mask.words[:len(bw)]
+	i := 0
+	for ; i+4 <= len(bw); i += 4 {
+		w0 := bw[i] & (sw[i] | ^mw[i])
+		w1 := bw[i+1] & (sw[i+1] | ^mw[i+1])
+		w2 := bw[i+2] & (sw[i+2] | ^mw[i+2])
+		w3 := bw[i+3] & (sw[i+3] | ^mw[i+3])
+		bw[i], bw[i+1], bw[i+2], bw[i+3] = w0, w1, w2, w3
+		a0 |= w0
+		a1 |= w1
+		a2 |= w2
+		a3 |= w3
 	}
-	return acc == 0
+	for ; i < len(bw); i++ {
+		bw[i] &= sw[i] | ^mw[i]
+		a0 |= bw[i]
+	}
+	return a0|a1|a2|a3 == 0
 }
 
 // Or sets b = b OR other in place.
@@ -219,6 +262,57 @@ func (b *Bitset) AppendSet(dst []int) []int {
 		}
 	}
 	return dst
+}
+
+// Iter is an allocation-free forward iterator over set bits. Unlike a
+// NextSet(i+1) loop — which re-loads and re-shifts the current word on
+// every call, an O(words) rescan on dense sets — Iter caches the word it
+// is standing in and strips bits off it with trailing-zero iteration, so
+// a full sweep touches each word exactly once.
+//
+//	for it := b.IterStart(); it.Valid(); it.Next() { use(it.Index()) }
+//
+// The iterator snapshot is taken word-by-word: mutating the bitset while
+// iterating yields unspecified (but memory-safe) results.
+type Iter struct {
+	b   *Bitset
+	wi  int    // current word index
+	w   uint64 // remaining bits of the current word
+	idx int    // index of the current set bit, -1 when exhausted
+}
+
+// IterStart returns an iterator positioned on the first set bit (Valid
+// reports false immediately for an empty set).
+func (b *Bitset) IterStart() Iter {
+	it := Iter{b: b, idx: -1}
+	for it.wi = 0; it.wi < len(b.words); it.wi++ {
+		if w := b.words[it.wi]; w != 0 {
+			it.w = w
+			it.idx = it.wi<<wordShift + bits.TrailingZeros64(w)
+			break
+		}
+	}
+	return it
+}
+
+// Valid reports whether the iterator is positioned on a set bit.
+func (it *Iter) Valid() bool { return it.idx >= 0 }
+
+// Index returns the bit the iterator is positioned on.
+func (it *Iter) Index() int { return it.idx }
+
+// Next advances to the next set bit, clearing Valid at the end.
+func (it *Iter) Next() {
+	it.w &= it.w - 1 // strip the bit we are standing on
+	for it.w == 0 {
+		it.wi++
+		if it.wi >= len(it.b.words) {
+			it.idx = -1
+			return
+		}
+		it.w = it.b.words[it.wi]
+	}
+	it.idx = it.wi<<wordShift + bits.TrailingZeros64(it.w)
 }
 
 // ForEach calls fn for every set bit in ascending order. If fn returns

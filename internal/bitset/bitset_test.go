@@ -324,3 +324,108 @@ func BenchmarkNextSetSparse(b *testing.B) {
 		}
 	}
 }
+
+func TestIterMatchesForEach(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%700) + 1
+		a := randomSet(n, seed)
+		var want []int
+		a.ForEach(func(i int) bool { want = append(want, i); return true })
+		var got []int
+		for it := a.IterStart(); it.Valid(); it.Next() {
+			got = append(got, it.Index())
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterEmptyAndFull(t *testing.T) {
+	if it := New(256).IterStart(); it.Valid() {
+		t.Fatal("iterator over empty set reports Valid")
+	}
+	n := 0
+	for it := NewFull(130).IterStart(); it.Valid(); it.Next() {
+		if it.Index() != n {
+			t.Fatalf("full-set iteration: got %d, want %d", it.Index(), n)
+		}
+		n++
+	}
+	if n != 130 {
+		t.Fatalf("full-set iteration visited %d bits, want 130", n)
+	}
+}
+
+// denseSet fills every other bit: the worst case for NextSet-loop
+// iteration (every call rescans its word from the start).
+func denseSet(n int) *Bitset {
+	b := New(n)
+	for i := 0; i < n; i += 2 {
+		b.Set(i)
+	}
+	return b
+}
+
+func BenchmarkIterationDense(b *testing.B) {
+	x := denseSet(65536)
+	b.Run("NextSetLoop", func(b *testing.B) {
+		b.ReportAllocs()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
+				sum += j
+			}
+		}
+		sinkInt = sum
+	})
+	b.Run("Iter", func(b *testing.B) {
+		b.ReportAllocs()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for it := x.IterStart(); it.Valid(); it.Next() {
+				sum += it.Index()
+			}
+		}
+		sinkInt = sum
+	})
+	b.Run("AppendSet", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []int
+		for i := 0; i < b.N; i++ {
+			buf = x.AppendSet(buf[:0])
+		}
+		sinkInt = len(buf)
+	})
+}
+
+var sinkInt int
+
+func BenchmarkCount4096(b *testing.B) {
+	x := randomSet(4096, 11)
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.Count()
+	}
+	sinkInt = n
+}
+
+func BenchmarkAndUnion4096(b *testing.B) {
+	x := NewFull(4096)
+	s := randomSet(4096, 3)
+	m := randomSet(4096, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AndUnion(s, m)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,11 +29,16 @@ type clusterState struct {
 	// events counts matches served, for probe scheduling.
 	events atomic.Uint32
 
-	// mu guards the cost estimates below (probe path only).
+	// mu serialises probe updates; the estimates themselves are float64
+	// bits in atomics so the scheduler's cost reader (PoolCostAppend)
+	// never takes a lock on the match path.
 	mu    sync.Mutex
-	ewmaC float64 // compressed kernel cost estimate, ns/event
-	ewmaU float64 // uncompressed kernel cost estimate, ns/event
+	ewmaC atomic.Uint64 // compressed kernel cost estimate, ns/event
+	ewmaU atomic.Uint64 // uncompressed kernel cost estimate, ns/event
 }
+
+func (cs *clusterState) ewmaCompressed() float64 { return math.Float64frombits(cs.ewmaC.Load()) }
+func (cs *clusterState) ewmaScan() float64       { return math.Float64frombits(cs.ewmaU.Load()) }
 
 func newClusterState() *clusterState {
 	cs := &clusterState{}
@@ -54,7 +60,7 @@ func (m *Matcher) matchAdaptive(cs *clusterState, s *Scratch, dst []expr.ID, p *
 		dst, _ = cs.compiled.matchCompressed(&s.kern, e, dst)
 		return dst
 	}
-	dst, _ = scanPool(p.Exprs, e, dst)
+	dst, _ = scanPool(&s.kern, p.Exprs, e, dst)
 	return dst
 }
 
@@ -70,7 +76,7 @@ func (m *Matcher) matchAdaptive(cs *clusterState, s *Scratch, dst []expr.ID, p *
 func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.Pool, e *expr.Event) []expr.ID {
 	m.probes.Add(1)
 	startU := time.Now()
-	s.probeIDs, _ = scanPool(p.Exprs, e, s.probeIDs[:0])
+	s.probeIDs, _ = scanPool(&s.kern, p.Exprs, e, s.probeIDs[:0])
 	costU := float64(time.Since(startU))
 
 	startC := time.Now()
@@ -79,16 +85,20 @@ func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.P
 
 	d := m.cfg.Decay
 	cs.mu.Lock()
-	if cs.ewmaC == 0 {
-		cs.ewmaC = costC
+	ewmaC := cs.ewmaCompressed()
+	if ewmaC == 0 {
+		ewmaC = costC
 	} else {
-		cs.ewmaC = d*cs.ewmaC + (1-d)*costC
+		ewmaC = d*ewmaC + (1-d)*costC
 	}
-	if cs.ewmaU == 0 {
-		cs.ewmaU = costU
+	cs.ewmaC.Store(math.Float64bits(ewmaC))
+	ewmaU := cs.ewmaScan()
+	if ewmaU == 0 {
+		ewmaU = costU
 	} else {
-		cs.ewmaU = d*cs.ewmaU + (1-d)*costU
+		ewmaU = d*ewmaU + (1-d)*costU
 	}
+	cs.ewmaU.Store(math.Float64bits(ewmaU))
 	// Hysteresis: leave the current kernel only when the other one is
 	// estimated meaningfully cheaper. Single-run wall-clock probes carry
 	// scheduler and cache noise; without a margin, clusters flap between
@@ -96,12 +106,12 @@ func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.P
 	const margin = 1.15
 	switch kernel(cs.mode.Load()) {
 	case kernelCompressed:
-		if cs.ewmaC > cs.ewmaU*margin {
+		if ewmaC > ewmaU*margin {
 			cs.mode.Store(int32(kernelUncompressed))
 			m.flipsU.Add(1)
 		}
 	default:
-		if cs.ewmaU > cs.ewmaC*margin {
+		if ewmaU > ewmaC*margin {
 			cs.mode.Store(int32(kernelCompressed))
 			m.flipsC.Add(1)
 		}
@@ -112,7 +122,37 @@ func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.P
 
 // Estimates reports a cluster-state snapshot for tests and diagnostics.
 func (cs *clusterState) estimates() (ewmaC, ewmaU float64, mode kernel) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.ewmaC, cs.ewmaU, kernel(cs.mode.Load())
+	return cs.ewmaCompressed(), cs.ewmaScan(), kernel(cs.mode.Load())
+}
+
+// fallbackCostNs approximates an unprobed pool's per-event cost: about
+// 50ns of interpreted evaluation per member.
+func fallbackCostNs(members int) int64 { return int64(1 + 50*members) }
+
+// PoolCostAppend appends one relative cost weight per pool — the EWMA
+// ns/event of the kernel currently serving the cluster, with a
+// size-proportional estimate for pools never probed — and returns dst.
+// The engine feeds these weights to the scheduler so one expensive
+// cluster no longer serializes a worker lane while cheap ones idle.
+// Weights are relative; only their ratios matter.
+func (m *Matcher) PoolCostAppend(dst []int64, pools []*betree.Pool) []int64 {
+	m.cmu.RLock()
+	for _, p := range pools {
+		var w int64
+		if cs := m.clusters[p]; cs != nil {
+			var e float64
+			if kernel(cs.mode.Load()) == kernelCompressed {
+				e = cs.ewmaCompressed()
+			} else {
+				e = cs.ewmaScan()
+			}
+			w = int64(e)
+		}
+		if w <= 0 {
+			w = fallbackCostNs(len(p.Exprs))
+		}
+		dst = append(dst, w)
+	}
+	m.cmu.RUnlock()
+	return dst
 }

@@ -1,10 +1,22 @@
 package core
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/betree"
 	"github.com/streammatch/apcm/internal/bitset"
 )
+
+// revCounter issues process-wide cluster revisions. Every compilation and
+// every successful in-place mutation (tryAppend, tryTombstone) assigns a
+// fresh revision, so any scratch-side cache keyed by revision (the batch
+// predicate memo, the eligibility cache) is invalidated by construction:
+// a stale revision simply never matches again.
+var revCounter atomic.Uint64
+
+func nextRev() uint64 { return revCounter.Add(1) }
 
 // compiled is the compressed form of one BE-Tree pool. Three structures
 // carry the match:
@@ -34,10 +46,11 @@ import (
 // contract: it must never run concurrently with matching.
 type compiled struct {
 	gen   uint64
-	n     int // member slots in use (live + tombstoned)
-	tombs int // tombstoned members
-	capN  int // member capacity of every bitset and of masks
-	words int // member-bitset words (capN/64), for cost accounting
+	rev   uint64 // cache-invalidation revision, see revCounter
+	n     int    // member slots in use (live + tombstoned)
+	tombs int    // tombstoned members
+	capN  int    // member capacity of every bitset and of masks
+	words int    // member-bitset words (capN/64), for cost accounting
 
 	ids     []expr.ID
 	idToIdx map[expr.ID]int32
@@ -46,9 +59,14 @@ type compiled struct {
 	// as the tombstone slot: no event attribute ever maps to it, so a
 	// mask with that bit set is never covered.
 	attrIdx map[expr.AttrID]int32
-	nAttrs  int
-	awords  int      // words per member attribute mask ((nAttrs+1+63)/64)
-	masks   []uint64 // capN × awords, flat
+	// attrs lists the universe sorted ascending, with attrLocal carrying
+	// the matching local indexes; the kernel merge-joins an event's sorted
+	// pairs against attrs instead of hashing every pair through attrIdx.
+	attrs     []expr.AttrID
+	attrLocal []int32
+	nAttrs    int
+	awords    int      // words per member attribute mask ((nAttrs+1+63)/64)
+	masks     []uint64 // capN × awords, flat
 
 	groups []attrGroup // indexed by local attribute index
 
@@ -59,6 +77,7 @@ type compiled struct {
 
 	predSlots     int // Σ per-member predicates (live members)
 	distinctPreds int // Σ dictionary entries (incl. equality-union values)
+	seqCount      uint32
 }
 
 // attrGroup holds one attribute's compiled predicates.
@@ -77,10 +96,13 @@ type attrGroup struct {
 	strict []dictEntry
 }
 
-// dictEntry is one distinct predicate and the members it belongs to.
+// dictEntry is one distinct predicate and the members it belongs to. seq
+// is unique within the compiled cluster; together with the cluster's rev
+// it keys the batch predicate memo.
 type dictEntry struct {
 	pred *expr.Predicate
 	bits *bitset.Bitset
+	seq  uint32
 }
 
 // slackCapacity sizes bitsets with headroom for incremental appends.
@@ -94,6 +116,7 @@ func compile(p *betree.Pool) *compiled {
 	n := len(p.Exprs)
 	c := &compiled{
 		gen:     p.Gen,
+		rev:     nextRev(),
 		capN:    slackCapacity(n),
 		ids:     make([]expr.ID, 0, n),
 		idToIdx: make(map[expr.ID]int32, n),
@@ -116,6 +139,15 @@ func compile(p *betree.Pool) *compiled {
 	c.groups = make([]attrGroup, c.nAttrs)
 	c.firstIdx = make([]map[string]int, c.nAttrs)
 	c.strictIdx = make([]map[string]int, c.nAttrs)
+	c.attrs = make([]expr.AttrID, 0, c.nAttrs)
+	c.attrLocal = make([]int32, c.nAttrs)
+	for a := range c.attrIdx {
+		c.attrs = append(c.attrs, a)
+	}
+	sort.Slice(c.attrs, func(i, j int) bool { return c.attrs[i] < c.attrs[j] })
+	for i, a := range c.attrs {
+		c.attrLocal[i] = c.attrIdx[a]
+	}
 
 	// Pass 2: members.
 	for _, x := range p.Exprs {
@@ -170,7 +202,8 @@ func (c *compiled) append(x *expr.Expression) {
 			if !ok {
 				ei = len(g.first)
 				c.firstIdx[li][string(key)] = ei
-				g.first = append(g.first, dictEntry{pred: pr, bits: bitset.New(c.capN)})
+				c.seqCount++
+				g.first = append(g.first, dictEntry{pred: pr, bits: bitset.New(c.capN), seq: c.seqCount})
 				c.distinctPreds++
 			}
 			g.first[ei].bits.Set(idx)
@@ -183,7 +216,8 @@ func (c *compiled) append(x *expr.Expression) {
 			if !ok {
 				ei = len(g.strict)
 				c.strictIdx[li][string(key)] = ei
-				g.strict = append(g.strict, dictEntry{pred: pr, bits: bitset.New(c.capN)})
+				c.seqCount++
+				g.strict = append(g.strict, dictEntry{pred: pr, bits: bitset.New(c.capN), seq: c.seqCount})
 				c.distinctPreds++
 			}
 			g.strict[ei].bits.Set(idx)
@@ -208,6 +242,7 @@ func (c *compiled) tryAppend(p *betree.Pool, x *expr.Expression) bool {
 	}
 	c.append(x)
 	c.gen = p.Gen
+	c.rev = nextRev() // invalidate revision-keyed caches
 	return true
 }
 
@@ -227,6 +262,7 @@ func (c *compiled) tryTombstone(p *betree.Pool, id expr.ID) bool {
 	delete(c.idToIdx, id)
 	c.tombs++
 	c.gen = p.Gen
+	c.rev = nextRev() // invalidate revision-keyed caches
 	return true
 }
 

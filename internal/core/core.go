@@ -82,6 +82,9 @@ type Config struct {
 	// Decay is the weight kept by the old cost estimate at each probe,
 	// in (0,1). Default 0.8.
 	Decay float64
+	// DisableMemo turns off the cross-event predicate memo armed by
+	// BeginBatch (ablation switch for the batch experiments).
+	DisableMemo bool
 }
 
 // DefaultConfig returns the configuration used by the benchmarks.
@@ -127,6 +130,25 @@ type Matcher struct {
 	flipsC atomic.Int64 // flips to the compressed kernel
 	flipsU atomic.Int64 // flips to the uncompressed (scan) kernel
 
+	// Batch-path cache effectiveness (see batch.go); flushed from
+	// per-Scratch counters by EndBatch.
+	memoHits    atomic.Int64
+	memoLookups atomic.Int64
+	eligHits    atomic.Int64
+	eligLookups atomic.Int64
+	dedups      atomic.Int64
+
+	// Memo and sort arming policies (see batch.go): EWMAs in 16.16 fixed
+	// point — memoRate tracks the per-batch memo hit ratio, sortRate the
+	// per-batch cross-event reuse ratio (dedups plus eligibility hits per
+	// event) of sorted batches — and batch sequence counters that pace
+	// re-probing once a policy is judged useless. Racy updates are fine —
+	// the policies are heuristic.
+	memoRate     atomic.Uint64
+	memoBatchSeq atomic.Uint64
+	sortRate     atomic.Uint64
+	sortBatchSeq atomic.Uint64
+
 	// scratch backs the plain MatchAppend entry point (single-threaded
 	// use); parallel callers bring their own via NewScratch/MatchWith.
 	scratch *Scratch
@@ -141,6 +163,10 @@ func New(cfg Config) *Matcher {
 		clusters: make(map[*betree.Pool]*clusterState),
 	}
 	m.scratch = m.NewScratch()
+	// Optimistic: arm memoization and locality sorting until measured
+	// useless for the workload actually seen.
+	m.memoRate.Store(memoRateOne)
+	m.sortRate.Store(memoRateOne)
 	return m
 }
 
@@ -214,8 +240,7 @@ func (m *Matcher) NewScratch() *Scratch { return &Scratch{} }
 // for temporary state. Safe for concurrent use with distinct Scratch
 // values, provided no Insert/Delete runs concurrently.
 func (m *Matcher) MatchWith(s *Scratch, dst []expr.ID, e *expr.Event) []expr.ID {
-	s.pools = s.pools[:0]
-	m.tree.CollectPools(e, func(p *betree.Pool) { s.pools = append(s.pools, p) })
+	s.pools = m.tree.CollectPoolsAppend(s.pools[:0], e)
 	for _, p := range s.pools {
 		dst = m.MatchPool(s, dst, p, e)
 	}
@@ -226,15 +251,14 @@ func (m *Matcher) MatchWith(s *Scratch, dst []expr.ID, e *expr.Event) []expr.ID 
 // the parallel engine shards the result across workers and calls
 // MatchPool per pool.
 func (m *Matcher) CollectPools(dst []*betree.Pool, e *expr.Event) []*betree.Pool {
-	m.tree.CollectPools(e, func(p *betree.Pool) { dst = append(dst, p) })
-	return dst
+	return m.tree.CollectPoolsAppend(dst, e)
 }
 
 // MatchPool matches e against a single candidate pool, appending matches
 // to dst. Safe for concurrent use with distinct Scratch values.
 func (m *Matcher) MatchPool(s *Scratch, dst []expr.ID, p *betree.Pool, e *expr.Event) []expr.ID {
 	if m.cfg.Mode == ModeUncompressed || len(p.Exprs) < m.cfg.MinCompressSize {
-		dst, _ = scanPool(p.Exprs, e, dst)
+		dst, _ = scanPool(&s.kern, p.Exprs, e, dst)
 		return dst
 	}
 	cs := m.clusterFor(p)

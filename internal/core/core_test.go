@@ -296,7 +296,7 @@ func TestCompressedKernelCheaperOnRedundantCluster(t *testing.T) {
 	var ab kernelScratch
 	ev := expr.MustEvent(expr.P(1, 0), expr.P(2, 1), expr.P(3, 1))
 	gotC, costC := c.matchCompressed(&ab, ev, nil)
-	gotU, costU := scanPool(pool.Exprs, ev, nil)
+	gotU, costU := scanPool(&ab, pool.Exprs, ev, nil)
 	if len(gotC) != len(gotU) {
 		t.Fatalf("kernels disagree: %d vs %d matches", len(gotC), len(gotU))
 	}
@@ -322,7 +322,7 @@ func TestCompressedKernelEarlyExit(t *testing.T) {
 	// Groups are attr-sorted, so attr 1's dictionary (64 entries) is
 	// evaluated first; the early exit then fires on attr 9's miss.
 	// Cost must still be far below evaluating per-member predicates.
-	if _, full := scanPool(pool.Exprs, expr.MustEvent(expr.P(1, 3)), nil); cost > full {
+	if _, full := scanPool(&ab, pool.Exprs, expr.MustEvent(expr.P(1, 3)), nil); cost > full {
 		t.Fatalf("early exit missing: compressed cost %d vs scan %d", cost, full)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/bitset"
 )
@@ -15,6 +17,11 @@ const (
 	costExprLoop = 1 // per-expression loop overhead in the scan kernel
 )
 
+// eligCacheMinWork gates the eligibility cache: for clusters whose
+// eligibility sweep is under this many words the map probe costs as much
+// as the sweep it would save.
+const eligCacheMinWork = 64
+
 // kernelScratch holds reusable per-goroutine kernel state. Survivor and
 // satisfied bitsets must match the cluster's member count exactly, so
 // they are kept per size; distinct cluster sizes are few in practice.
@@ -22,6 +29,23 @@ type kernelScratch struct {
 	bySize  map[int]*buffers
 	present []uint64   // attribute-present mask over the cluster-local universe
 	hits    []groupHit // present groups for the current event
+
+	vt   valueTable // dense attr → value table for the current event
+	memo predMemo   // cross-event predicate memo, armed per batch
+	elig eligCache  // per-cluster eligibility cache keyed (rev, present)
+
+	memoOn bool
+	eligOn bool // set for locality-sorted batches (see MatchBatchAppend)
+
+	// batchEvents is the size of the batch in flight; EndBatch uses it to
+	// turn the reuse counters below into the sort-arming ratio.
+	batchEvents int64
+
+	// Cache effectiveness counters, accumulated locally (the hot path
+	// must stay atomic-free) and flushed to the Matcher by EndBatch.
+	memoHits, memoLookups int64
+	eligHits, eligLookups int64
+	dedups                int64
 }
 
 type buffers struct {
@@ -46,19 +70,40 @@ func (s *kernelScratch) get(n int) *buffers {
 	return b
 }
 
+// predMatches evaluates one distinct dictionary predicate against the
+// event value, going through the per-batch memo when armed. The memo key
+// is (cluster revision, entry sequence, value): revisions change on every
+// cluster mutation, so a hit can never be stale.
+func (s *kernelScratch) predMatches(rev uint64, e *dictEntry, val expr.Value) bool {
+	if !s.memoOn {
+		return e.pred.Matches(val)
+	}
+	s.memoLookups++
+	key := uint64(e.seq)<<32 | uint64(uint32(val))
+	if res, ok, slot := s.memo.find(rev, key); ok {
+		s.memoHits++
+		return res
+	} else {
+		res = e.pred.Matches(val)
+		s.memo.put(slot, rev, key, res)
+		return res
+	}
+}
+
 // matchCompressed runs the compressed kernel:
 //
 //  1. Resolve the event's attributes against the cluster's local
-//     universe and build the present mask (touching only the event's
-//     ~tens of attributes, never the cluster's full dictionary).
+//     universe with a merge-join of the two sorted attribute lists and
+//     build the present mask (no hashing; both sides are sorted).
 //  2. Eligibility: one masked word-compare per member kills everyone
 //     constraining an attribute the event lacks, without touching the
-//     absent groups themselves. Starting from the eligible set keeps the
-//     survivor population small, which lets the group loop exit early.
+//     absent groups themselves. Consecutive events with the same
+//     attribute set — the common case after OSR — hit the per-cluster
+//     eligibility cache and skip the sweep entirely.
 //  3. Per present group: one equality-union hash probe plus evaluation
-//     of the distinct non-equality predicates yields the satisfied
-//     union; alive &= satisfied | ^attrBits. Failed strict predicates
-//     AND-NOT out individually.
+//     of the distinct non-equality predicates (memoized across the
+//     batch) yields the satisfied union; alive &= satisfied | ^attrBits.
+//     Failed strict predicates AND-NOT out individually.
 //
 // Returns the appended dst and the work units spent.
 func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
@@ -66,7 +111,7 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 	alive, sat := bufs.alive, bufs.sat
 	cost := 0
 
-	// Step 1: present mask and group hits.
+	// Step 1: present mask and group hits, by merge-join.
 	if cap(s.present) < c.awords {
 		s.present = make([]uint64, c.awords)
 	}
@@ -75,14 +120,23 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 		present[i] = 0
 	}
 	s.hits = s.hits[:0]
-	for _, pair := range e.Pairs() {
-		li, ok := c.attrIdx[pair.Attr]
-		cost += costPredEval // hash probe
-		if !ok {
-			continue
+	pairs := e.Pairs()
+	ca := c.attrs
+	cost += (len(pairs) + len(ca)) * costWordOp
+	for i, j := 0, 0; i < len(pairs) && j < len(ca); {
+		a, b := pairs[i].Attr, ca[j]
+		switch {
+		case a == b:
+			li := c.attrLocal[j]
+			present[li>>6] |= 1 << (uint(li) & 63)
+			s.hits = append(s.hits, groupHit{local: li, val: pairs[i].Val})
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
 		}
-		present[li>>6] |= 1 << (uint(li) & 63)
-		s.hits = append(s.hits, groupHit{local: li, val: pair.Val})
 	}
 	if len(s.hits) == 0 {
 		return dst, cost
@@ -91,26 +145,50 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 	// Step 2: eligibility. A member survives iff its attribute mask is
 	// covered by the present mask. An empty eligible set exits at once,
 	// and a sparse one makes the group loop's early exit bite sooner.
-	alive.ClearAll()
-	aw := alive.Words()
-	cost += c.n * c.awords * costWordOp
-	anyAlive := false
-	for m := 0; m < c.n; m++ {
-		mask := c.masks[m*c.awords : (m+1)*c.awords]
-		ok := true
-		for w := range mask {
-			if mask[w]&^present[w] != 0 {
-				ok = false
-				break
+	// The cache is only consulted for locality-sorted batches (eligOn):
+	// without sorted adjacency the entry almost never matches, and the
+	// probe-plus-store would be pure overhead on every visit.
+	var ce *eligEntry
+	cached := false
+	if s.eligOn && c.n*c.awords >= eligCacheMinWork {
+		s.eligLookups++
+		ce = s.elig.entry(c.rev)
+		if ce.matches(present) {
+			s.eligHits++
+			if !ce.any {
+				return dst, cost
 			}
-		}
-		if ok {
-			aw[m>>6] |= 1 << (uint(m) & 63)
-			anyAlive = true
+			copy(alive.Words(), ce.words)
+			cost += c.words * costWordOp
+			cached = true
+			ce = nil // nothing to store
 		}
 	}
-	if !anyAlive {
-		return dst, cost
+	if !cached {
+		alive.ClearAll()
+		aw := alive.Words()
+		cost += c.n * c.awords * costWordOp
+		anyAlive := false
+		for m := 0; m < c.n; m++ {
+			mask := c.masks[m*c.awords : (m+1)*c.awords]
+			ok := true
+			for w := range mask {
+				if mask[w]&^present[w] != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				aw[m>>6] |= 1 << (uint(m) & 63)
+				anyAlive = true
+			}
+		}
+		if ce != nil {
+			ce.store(present, aw, anyAlive)
+		}
+		if !anyAlive {
+			return dst, cost
+		}
 	}
 
 	// Step 3: present groups.
@@ -133,7 +211,7 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 		}
 		for ei := range g.first {
 			cost += costPredEval
-			if g.first[ei].pred.Matches(h.val) {
+			if s.predMatches(c.rev, &g.first[ei], h.val) {
 				sat.Or(g.first[ei].bits)
 				cost += c.words * costWordOp
 			}
@@ -144,7 +222,7 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 		}
 		for ei := range g.strict {
 			cost += costPredEval
-			if !g.strict[ei].pred.Matches(h.val) {
+			if !s.predMatches(c.rev, &g.strict[ei], h.val) {
 				cost += c.words * costWordOp
 				if alive.AndNot(g.strict[ei].bits) {
 					return dst, cost
@@ -153,17 +231,52 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 		}
 	}
 
-	alive.ForEach(func(i int) bool {
-		dst = append(dst, c.ids[i])
-		return true
-	})
+	// Collect survivors word-by-word (a ForEach closure would force dst
+	// to escape and allocate on every call).
+	aw := alive.Words()
+	for wi, w := range aw {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, c.ids[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
 	return dst, cost
 }
 
 // scanPool runs the uncompressed kernel: short-circuiting interpretation
-// of every pooled expression. Returns the appended dst and the work
+// of every pooled expression. Attribute lookups go through the scratch's
+// dense value table (stamped array indexing) instead of scanning the
+// event's pair list per predicate. Returns the appended dst and the work
 // units spent.
-func scanPool(exprs []*expr.Expression, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
+func scanPool(s *kernelScratch, exprs []*expr.Expression, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
+	cost := 0
+	vt := &s.vt
+	if !vt.ensure(e) {
+		return scanPoolSlow(exprs, e, dst)
+	}
+	for _, x := range exprs {
+		cost += costExprLoop
+		matched := true
+		for j := range x.Preds {
+			cost += costPredEval
+			p := &x.Preds[j]
+			v, ok := vt.lookup(p.Attr)
+			if !ok || !p.Matches(v) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			dst = append(dst, x.ID)
+		}
+	}
+	return dst, cost
+}
+
+// scanPoolSlow is the fallback for events whose attribute ids exceed the
+// dense-table bound; it resolves attributes against the event directly.
+func scanPoolSlow(exprs []*expr.Expression, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
 	cost := 0
 	for _, x := range exprs {
 		cost += costExprLoop

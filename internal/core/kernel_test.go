@@ -42,7 +42,7 @@ func TestPropKernelsAgree(t *testing.T) {
 		for trial := 0; trial < 30; trial++ {
 			ev := g.Event()
 			a, _ := c.matchCompressed(&ks, ev, nil)
-			b, _ := scanPool(pool.Exprs, ev, nil)
+			b, _ := scanPool(&ks, pool.Exprs, ev, nil)
 			if !sameIDs(a, b) {
 				t.Logf("seed %d: compressed %v scan %v on %s", seed, a, b, ev)
 				return false
@@ -101,7 +101,7 @@ func TestPropKernelsAgreeAfterIncrementalMaintenance(t *testing.T) {
 		for trial := 0; trial < 20; trial++ {
 			ev := g.Event()
 			a, _ := c.matchCompressed(&ks, ev, nil)
-			b, _ := scanPool(pool.Exprs, ev, nil)
+			b, _ := scanPool(&ks, pool.Exprs, ev, nil)
 			if !sameIDs(a, b) {
 				return false
 			}

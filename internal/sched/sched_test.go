@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCoversAllIndexes(t *testing.T) {
@@ -140,5 +142,93 @@ func TestStatsAccounting(t *testing.T) {
 	st1 := p1.Stats()
 	if st1.WorkerItems[1] != 10 || st1.Runs != 1 {
 		t.Fatalf("inline accounting: %+v", st1)
+	}
+}
+
+func TestRunWeightedCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		for _, total := range []int{1, 2, 7, 64, 513} {
+			weights := make([]int64, total)
+			for i := range weights {
+				weights[i] = int64(i % 17) // includes zero weights
+			}
+			var hits = make([]atomic.Int32, total)
+			p.RunWeighted(weights, func(_, i int) { hits[i].Add(1) })
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d total=%d: index %d hit %d times", workers, total, i, hits[i].Load())
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunWeightedSplitsHeavyHead(t *testing.T) {
+	// One mega-item followed by many cheap items: weighted sharding must
+	// put the mega-item in its own shard instead of bundling a uniform
+	// 1/(workers*factor) slice of the index space with it.
+	p := NewPool(4)
+	defer p.Close()
+	weights := make([]int64, 256)
+	weights[0] = 1 << 20
+	for i := 1; i < len(weights); i++ {
+		weights[i] = 1
+	}
+	// Behavioural check: the heavy item spins until every cheap item has
+	// run. If the greedy cut failed to isolate it in its own shard, the
+	// cheap items sharing its shard could never run and this would hang.
+	done := make(chan struct{})
+	var cheapDone atomic.Int32
+	go func() {
+		p.RunWeighted(weights, func(_, i int) {
+			if i == 0 {
+				// Wait until every cheap item has run: impossible if they
+				// share the heavy item's lane-sequential shard.
+				for cheapDone.Load() < int32(len(weights)-1) {
+					runtime.Gosched()
+				}
+				return
+			}
+			cheapDone.Add(1)
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func TestGrainFactorStaysBounded(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for r := 0; r < 200; r++ {
+		p.Run(1024, func(w, i int) {
+			if i == 0 {
+				time.Sleep(50 * time.Microsecond) // skew one item
+			}
+		})
+	}
+	st := p.Stats()
+	if st.GrainFactor < minGrainFactor || st.GrainFactor > maxGrainFactor {
+		t.Fatalf("grain factor %d out of bounds [%d, %d]", st.GrainFactor, minGrainFactor, maxGrainFactor)
+	}
+	if st.ShardImbalance < 0 {
+		t.Fatalf("negative imbalance %f", st.ShardImbalance)
+	}
+}
+
+func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(_, i int) { sink.Add(int64(i)) }
+	for i := 0; i < 10; i++ {
+		p.Run(128, fn) // warm the job pool
+	}
+	avg := testing.AllocsPerRun(100, func() { p.Run(128, fn) })
+	// The job descriptor is pooled; tolerate the occasional sync.Pool
+	// refill under GC but not per-run garbage.
+	if avg > 0.5 {
+		t.Fatalf("Run allocates %.2f objects per call in steady state", avg)
 	}
 }

@@ -77,9 +77,58 @@ func (e *Engine) attachMetrics(reg *metrics.Registry) {
 			return float64(u)
 		})
 	}
+	if e.cm != nil {
+		reg.CounterFunc("apcm_batch_memo_lookups_total", "cross-event predicate memo lookups", func() float64 {
+			_, l, _, _, _ := e.cm.BatchCounters()
+			return float64(l)
+		})
+		reg.CounterFunc("apcm_batch_memo_hits_total", "cross-event predicate memo hits", func() float64 {
+			h, _, _, _, _ := e.cm.BatchCounters()
+			return float64(h)
+		})
+		reg.GaugeFunc("apcm_batch_memo_hit_ratio", "memo hits per lookup over the batch path", func() float64 {
+			h, l, _, _, _ := e.cm.BatchCounters()
+			if l == 0 {
+				return 0
+			}
+			return float64(h) / float64(l)
+		})
+		reg.CounterFunc("apcm_batch_elig_lookups_total", "per-cluster eligibility cache lookups", func() float64 {
+			_, _, _, l, _ := e.cm.BatchCounters()
+			return float64(l)
+		})
+		reg.CounterFunc("apcm_batch_elig_hits_total", "per-cluster eligibility cache hits", func() float64 {
+			_, _, h, _, _ := e.cm.BatchCounters()
+			return float64(h)
+		})
+		reg.CounterFunc("apcm_batch_dedup_total", "batch events answered from an adjacent equal event's result", func() float64 {
+			_, _, _, _, d := e.cm.BatchCounters()
+			return float64(d)
+		})
+	}
+	reg.CounterFunc("apcm_scratch_gets_total", "match scratch pool fetches", func() float64 {
+		return float64(e.scratchGets.Load())
+	})
+	reg.CounterFunc("apcm_scratch_news_total", "match scratch pool misses (fresh allocations)", func() float64 {
+		return float64(e.scratchNews.Load())
+	})
+	reg.GaugeFunc("apcm_scratch_recycle_ratio", "fraction of scratch fetches served by recycling", func() float64 {
+		gets := e.scratchGets.Load()
+		if gets == 0 {
+			return 0
+		}
+		news := e.scratchNews.Load()
+		return 1 - float64(news)/float64(gets)
+	})
 	if e.pool != nil {
 		reg.GaugeFunc("apcm_pool_queue_depth", "scheduler jobs waiting in the queue", func() float64 {
 			return float64(e.pool.Stats().QueueDepth)
+		})
+		reg.GaugeFunc("apcm_pool_grain_factor", "auto-tuned scheduler chunks-per-lane target", func() float64 {
+			return float64(e.pool.Stats().GrainFactor)
+		})
+		reg.GaugeFunc("apcm_pool_shard_imbalance", "EWMA of per-run lane imbalance (max/avg, 1.0 = balanced)", func() float64 {
+			return e.pool.Stats().ShardImbalance
 		})
 		reg.CounterFunc("apcm_pool_runs_total", "scheduler Run invocations", func() float64 {
 			return float64(e.pool.Stats().Runs)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package apcm_test
+
+const raceEnabled = false

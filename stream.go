@@ -30,17 +30,21 @@ func (o *StreamOptions) sanitize() {
 // Stream is the engine's streaming front end with online stream
 // re-ordering (OSR). Events enter via Publish; matches leave via the
 // deliver callback, which runs on the publishing goroutine (on window
-// flushes) or on a timer goroutine (on deadline flushes) — it must be
-// safe for that and should not block for long. deliver must not call
-// Close on its own stream (Close waits for in-flight deliveries and
-// would deadlock).
+// flushes) or on the stream's deadline goroutine (on deadline flushes) —
+// it must be safe for that and should not block for long. The matches
+// slice passed to deliver is only valid for the duration of the call
+// (its backing storage is recycled); callers that retain it must copy.
+// deliver must not call Close on its own stream (Close waits for
+// in-flight deliveries and would deadlock).
 //
-// Timer races are resolved by a generation counter: every arm or cancel
-// bumps the generation, and a deadline callback that arrives with a
-// stale generation (its window was already flushed by Publish, Flush or
-// Close) is a no-op instead of flushing a newer partial window early.
-// Close waits for in-flight deliveries, so no deliver call is running
-// or will run after Close returns.
+// Deadline flushes are driven by one long-lived goroutine per stream
+// with a reusable timer, so the steady state arms no fresh runtime
+// timers. Races are resolved by a generation counter: every arm or
+// cancel bumps the generation, and a deadline that fires with a stale
+// generation (its window was already flushed by Publish, Flush or Close)
+// is a no-op instead of flushing a newer partial window early. Close
+// waits for in-flight deliveries, so no deliver call is running or will
+// run after Close returns.
 type Stream struct {
 	eng     *Engine
 	opts    StreamOptions
@@ -48,13 +52,26 @@ type Stream struct {
 
 	mu       sync.Mutex
 	buf      *osr.Buffer
-	timer    *time.Timer
+	timerOn  bool // a deadline is armed for the current window
 	timerGen uint64
 	closed   bool
 	// inflight counts started-but-unfinished process() calls; every
 	// Add(1) happens under mu strictly before closed is set, so Close's
 	// Wait covers exactly the deliveries that were admitted.
 	inflight sync.WaitGroup
+
+	// armCh carries deadline requests to the timer goroutine. Capacity 1
+	// with drain-before-send under mu coalesces re-arms; nil when the
+	// window disables buffering (no goroutine is started).
+	armCh     chan timerArm
+	timerDone sync.WaitGroup
+}
+
+// timerArm asks the deadline goroutine to fire at `at` for window
+// generation `gen`.
+type timerArm struct {
+	gen uint64
+	at  time.Time
 }
 
 // NewStream creates a streaming front end over the engine.
@@ -69,7 +86,43 @@ func (e *Engine) NewStream(opts StreamOptions, deliver func(ev *expr.Event, matc
 	if e.met != nil {
 		s.buf.TrackDistance(true)
 	}
+	if opts.Window > 1 {
+		s.armCh = make(chan timerArm, 1)
+		s.timerDone.Add(1)
+		go s.timerLoop()
+	}
 	return s
+}
+
+// timerLoop owns the stream's single deadline timer. It re-arms on
+// requests from armCh and calls deadlineFlush when the timer fires; a
+// stale generation makes that a no-op. Exits when armCh closes.
+func (s *Stream) timerLoop() {
+	defer s.timerDone.Done()
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	armed := false // timer running and its channel not yet drained here
+	var gen uint64
+	for {
+		select {
+		case a, ok := <-s.armCh:
+			if armed && !t.Stop() {
+				<-t.C
+			}
+			armed = false
+			if !ok {
+				return
+			}
+			t.Reset(time.Until(a.at))
+			armed = true
+			gen = a.gen
+		case <-t.C:
+			armed = false
+			s.deadlineFlush(gen)
+		}
+	}
 }
 
 // Publish submits an event. It may synchronously flush a full window
@@ -93,8 +146,8 @@ func (s *Stream) Publish(ev *expr.Event) {
 		}
 		s.stopTimer()
 		s.inflight.Add(1)
-	} else if s.timer == nil && s.buf.Pending() > 0 {
-		// Covers both a fresh window and one whose deadline callback was
+	} else if !s.timerOn && s.buf.Pending() > 0 {
+		// Covers both a fresh window and one whose deadline was
 		// invalidated before it could flush.
 		s.armTimer()
 	}
@@ -105,28 +158,37 @@ func (s *Stream) Publish(ev *expr.Event) {
 	}
 }
 
-// armTimer schedules a deadline flush; the caller holds s.mu.
+// armTimer schedules a deadline flush; the caller holds s.mu. The drain
+// before the send keeps the capacity-1 channel from ever blocking: all
+// senders hold s.mu, and the timer goroutine only receives.
 func (s *Stream) armTimer() {
-	if s.opts.Window <= 1 {
+	if s.armCh == nil {
 		return
 	}
 	s.timerGen++
-	gen := s.timerGen
-	s.timer = time.AfterFunc(s.opts.MaxDelay, func() { s.deadlineFlush(gen) })
+	s.timerOn = true
+	select {
+	case <-s.armCh:
+	default:
+	}
+	s.armCh <- timerArm{gen: s.timerGen, at: time.Now().Add(s.opts.MaxDelay)}
 }
 
 // stopTimer cancels a pending deadline flush; the caller holds s.mu.
-// Bumping the generation also neutralises a callback that has already
+// Bumping the generation also neutralises a deadline that has already
 // fired but not yet acquired the lock.
 func (s *Stream) stopTimer() {
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
 	s.timerGen++
+	s.timerOn = false
+	if s.armCh != nil {
+		select {
+		case <-s.armCh:
+		default:
+		}
+	}
 }
 
-// deadlineFlush is the timer callback for the window generation gen.
+// deadlineFlush runs on the timer goroutine for window generation gen.
 func (s *Stream) deadlineFlush(gen uint64) {
 	s.mu.Lock()
 	if s.closed || gen != s.timerGen {
@@ -136,7 +198,7 @@ func (s *Stream) deadlineFlush(gen uint64) {
 		s.mu.Unlock()
 		return
 	}
-	s.timer = nil
+	s.timerOn = false
 	s.timerGen++
 	batch := s.buf.Flush()
 	var dist int
@@ -195,27 +257,20 @@ func (s *Stream) process(batch []*expr.Event, dist int) {
 		}
 		m.streamReorder.Observe(float64(dist))
 	}
-	// Re-ordering makes identical events adjacent; match each distinct
-	// event once and fan the result out. dedup[i] is the index in
-	// `unique` whose result event i reuses.
-	unique := make([]*expr.Event, 0, len(batch))
-	dedup := make([]int, len(batch))
+	// The batch kernel matches each distinct event once (adjacent equal
+	// events share a result segment) and memoizes predicate evaluations
+	// across the locality-ordered window.
+	r := batchResults.Get().(*BatchResult)
+	s.eng.MatchBatchInto(batch, r)
 	for i, ev := range batch {
-		if i > 0 && ev.Equal(batch[i-1]) {
-			dedup[i] = dedup[i-1]
-			continue
-		}
-		dedup[i] = len(unique)
-		unique = append(unique, ev)
-	}
-	results := s.eng.MatchBatch(unique)
-	for i, ev := range batch {
-		s.deliver(ev, results[dedup[i]])
+		s.deliver(ev, r.For(i))
 	}
 	if m != nil {
-		m.streamDedupHits.Add(int64(len(batch) - len(unique)))
+		m.streamDedupHits.Add(int64(r.Dedups()))
 		m.streamFlushLatency.ObserveDuration(time.Since(start))
 	}
+	batchResults.Put(r)
+	s.buf.Recycle(batch)
 }
 
 // Pending returns the number of buffered, not-yet-matched events.
@@ -225,16 +280,17 @@ func (s *Stream) Pending() int {
 	return s.buf.Pending()
 }
 
-// Close flushes buffered events, stops the stream and waits for every
-// in-flight delivery (including deadline flushes racing with it) to
-// finish: after Close returns, deliver will not be invoked again.
-// Publishes after Close are dropped. Close is idempotent, and
-// concurrent Closes all wait.
+// Close flushes buffered events, stops the stream (including its
+// deadline goroutine) and waits for every in-flight delivery (including
+// deadline flushes racing with it) to finish: after Close returns,
+// deliver will not be invoked again. Publishes after Close are dropped.
+// Close is idempotent, and concurrent Closes all wait.
 func (s *Stream) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.inflight.Wait()
+		s.timerDone.Wait()
 		return
 	}
 	batch, dist := s.flushLocked()
@@ -244,5 +300,11 @@ func (s *Stream) Close() {
 		s.process(batch, dist)
 		s.inflight.Done()
 	}
+	// closed is set: no further sends on armCh can be admitted, so the
+	// first closer may close it to stop the timer goroutine.
+	if s.armCh != nil {
+		close(s.armCh)
+	}
 	s.inflight.Wait()
+	s.timerDone.Wait()
 }
