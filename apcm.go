@@ -141,6 +141,20 @@ type Options struct {
 	// off in production.
 	DisableBatchMemo bool
 
+	// DisableHybridPostings compiles every cluster posting dense, as
+	// before the density-adaptive layout. An ablation switch (see E18);
+	// keep it off in production.
+	DisableHybridPostings bool
+
+	// DisableFlatEq keeps cluster equality unions in hash maps only,
+	// never building the value-indexed flat tables. An ablation switch.
+	DisableFlatEq bool
+
+	// DisableGroupOrdering evaluates cluster predicate groups in
+	// attribute order instead of descending estimated-kill order. An
+	// ablation switch.
+	DisableGroupOrdering bool
+
 	// Normalize canonicalises subscriptions on Subscribe (merging
 	// redundant predicates per attribute; see expr.Expression.Normalize)
 	// and rejects provably unsatisfiable ones with ErrUnsatisfiable.
@@ -225,6 +239,9 @@ func New(opts Options) (*Engine, error) {
 			cfg.ProbeInterval = opts.ProbeInterval
 		}
 		cfg.DisableMemo = opts.DisableBatchMemo
+		cfg.DisableHybridPostings = opts.DisableHybridPostings
+		cfg.DisableFlatEq = opts.DisableFlatEq
+		cfg.DisableGroupOrder = opts.DisableGroupOrdering
 		e.cm = core.New(cfg)
 		e.mem = e.cm
 		e.scratches.New = func() any {
@@ -407,7 +424,10 @@ func (e *Engine) getScratch() *core.Scratch {
 	return e.scratches.Get().(*core.Scratch)
 }
 
-func (e *Engine) putScratch(s *core.Scratch) { e.scratches.Put(s) }
+func (e *Engine) putScratch(s *core.Scratch) {
+	e.cm.FlushOrderCounters(s)
+	e.scratches.Put(s)
+}
 
 // intraJob is the pooled per-call state of the intra-event parallel
 // path: candidate pools, their cost weights, and per-lane result and
@@ -575,6 +595,19 @@ type Stats struct {
 	EligHits    int64
 	EligLookups int64
 	BatchDedups int64
+	// Density-adaptive layout tallies across compiled clusters: posting
+	// representations chosen at compile time, sparse id volume, and flat
+	// equality tables (compressed matchers only).
+	DensePostings     int
+	SparsePostings    int
+	SparseMemberSlots int
+	EqFlatTables      int
+	EqFlatSlots       int
+	// Selectivity-order effectiveness, cumulative and flushed at batch
+	// end: kill-ordered group evaluations and early exits taken when the
+	// survivor set emptied before the group loop finished.
+	GroupOrderSorts      int64
+	GroupOrderEarlyExits int64
 	// ScratchGets/ScratchNews describe scratch-pool recycling (recorded
 	// only with metrics attached): recycle rate = 1 − News/Gets.
 	ScratchGets int64
@@ -603,6 +636,13 @@ func (e *Engine) Stats() Stats {
 		st.CompressedServing = cs.CompressedServing
 		st.Probes = cs.Probes
 		st.KernelFlips = cs.FlipsToCompressed + cs.FlipsToUncompressed
+		st.DensePostings = cs.DensePostings
+		st.SparsePostings = cs.SparsePostings
+		st.SparseMemberSlots = cs.SparseMemberSlots
+		st.EqFlatTables = cs.EqFlatTables
+		st.EqFlatSlots = cs.EqFlatSlots
+		st.GroupOrderSorts = cs.GroupOrderSorts
+		st.GroupOrderEarlyExits = cs.GroupOrderEarlyExits
 		st.MemoHits, st.MemoLookups, st.EligHits, st.EligLookups, st.BatchDedups = e.cm.BatchCounters()
 		return st
 	}
@@ -632,6 +672,17 @@ type ClusterInfo struct {
 	// Cost estimates from adaptive probes, ns/event (0 before any probe).
 	EwmaCompressedNs float64
 	EwmaScanNs       float64
+	// Density-adaptive layout decisions for this cluster: posting counts
+	// by chosen representation, total sparse ids, flat equality tables
+	// and their value-slot volume.
+	DensePostings     int
+	SparsePostings    int
+	SparseMemberSlots int
+	EqFlatTables      int
+	EqFlatSlots       int
+	// PostingHist is a log2-bucketed posting-density histogram: bucket i
+	// counts postings with member count in [2^(i-1), 2^i).
+	PostingHist [12]int
 }
 
 // Clusters snapshots per-cluster diagnostics. It returns nil for the
@@ -646,16 +697,22 @@ func (e *Engine) Clusters() []ClusterInfo {
 	out := make([]ClusterInfo, len(raw))
 	for i, c := range raw {
 		out[i] = ClusterInfo{
-			Members:          c.Members,
-			Live:             c.Live,
-			Tombstones:       c.Tombstones,
-			Attrs:            c.Attrs,
-			PredSlots:        c.PredSlots,
-			DistinctPreds:    c.DistinctPreds,
-			MemBytes:         c.MemBytes,
-			Compressed:       c.Compressed,
-			EwmaCompressedNs: c.EwmaCompressedNs,
-			EwmaScanNs:       c.EwmaScanNs,
+			Members:           c.Members,
+			Live:              c.Live,
+			Tombstones:        c.Tombstones,
+			Attrs:             c.Attrs,
+			PredSlots:         c.PredSlots,
+			DistinctPreds:     c.DistinctPreds,
+			MemBytes:          c.MemBytes,
+			Compressed:        c.Compressed,
+			EwmaCompressedNs:  c.EwmaCompressedNs,
+			EwmaScanNs:        c.EwmaScanNs,
+			DensePostings:     c.DensePostings,
+			SparsePostings:    c.SparsePostings,
+			SparseMemberSlots: c.SparseMemberSlots,
+			EqFlatTables:      c.EqFlatTables,
+			EqFlatSlots:       c.EqFlatSlots,
+			PostingHist:       c.PostingHist,
 		}
 	}
 	return out

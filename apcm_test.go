@@ -251,6 +251,38 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestStatsOrderCountersFlushSingleEvent pins the counter flush on the
+// single-event path: group-order sorts and early exits accumulate in
+// per-goroutine scratch and only reach Stats() when the scratch is
+// released, which the batch path does in EndBatch and Match must do on
+// scratch put. A dense small-universe workload makes both counters fire.
+func TestStatsOrderCountersFlushSingleEvent(t *testing.T) {
+	p := workload.Default()
+	p.Seed = 7
+	p.NumAttrs = 20
+	p.Cardinality = 5
+	p.PredPoolSize = 4
+	g := workload.MustNew(p)
+	e := apcm.MustNew(apcm.Options{Algorithm: apcm.PCM})
+	defer e.Close()
+	for _, x := range g.Expressions(5000) {
+		if err := e.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Prepare()
+	for i := 0; i < 2000; i++ {
+		e.Match(g.Event())
+	}
+	st := e.Stats()
+	if st.GroupOrderSorts == 0 {
+		t.Error("GroupOrderSorts not flushed on the single-event path")
+	}
+	if st.GroupOrderEarlyExits == 0 {
+		t.Error("GroupOrderEarlyExits not flushed on the single-event path")
+	}
+}
+
 // APCMFor exists to keep the algorithm symbol usage obvious in tests.
 func APCMFor(t *testing.T) apcm.Algorithm {
 	t.Helper()

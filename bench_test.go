@@ -1,4 +1,4 @@
-// Go benchmarks, one per evaluation table/figure (E1–E17; DESIGN.md §4).
+// Go benchmarks, one per evaluation table/figure (E1–E18; DESIGN.md §4).
 // Each benchmark is the testing.B twin of the corresponding experiment
 // in cmd/apcm-bench: identical workloads at CI-friendly sizes, with
 // events/s reported as a custom metric. Run the binary for the full
@@ -70,6 +70,33 @@ func BenchmarkE1HeadlineThroughput(b *testing.B) {
 	for _, alg := range apcm.Algorithms() {
 		b.Run(alg.String(), func(b *testing.B) {
 			matchLoop(b, benchEngine(b, apcm.Options{Algorithm: alg}, xs), events)
+		})
+	}
+}
+
+// ---- E1 A/B: PR3 layout vs legacy dense layout ------------------------
+
+// BenchmarkE1AB interleaves the headline A-PCM workload under the PR3
+// density-adaptive layout ("pr3": hybrid postings + flat equality
+// tables + kill-ordered groups, the defaults) and with every lever
+// switched off ("legacy"), which reproduces the pre-PR dense layout.
+// The benchmark runner alternates sub-benchmarks, so -count=N yields an
+// interleaved A/B sequence on one binary.
+func BenchmarkE1AB(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, v := range []struct {
+		name string
+		opts apcm.Options
+	}{
+		{"legacy", apcm.Options{
+			DisableHybridPostings: true,
+			DisableFlatEq:         true,
+			DisableGroupOrdering:  true,
+		}},
+		{"pr3", apcm.Options{}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			matchLoop(b, benchEngine(b, v.opts, xs), events)
 		})
 	}
 }
@@ -305,6 +332,30 @@ func BenchmarkE17BatchMemo(b *testing.B) {
 					b.ReportMetric(float64(st.MemoHits)/float64(st.MemoLookups)*100, "memo-hit-%")
 				}
 			}
+		})
+	}
+}
+
+// ---- E18 (ablation): posting density × group ordering ----------------------------------
+
+func BenchmarkE18DensityOrdering(b *testing.B) {
+	xs, events := benchWorkload(b, benchParams(), 10000, 1000)
+	for _, v := range []struct {
+		name string
+		opts apcm.Options
+	}{
+		{"full", apcm.Options{}},
+		{"no-hybrid", apcm.Options{DisableHybridPostings: true}},
+		{"no-flateq", apcm.Options{DisableFlatEq: true}},
+		{"no-ordering", apcm.Options{DisableGroupOrdering: true}},
+		{"all-off", apcm.Options{
+			DisableHybridPostings: true,
+			DisableFlatEq:         true,
+			DisableGroupOrdering:  true,
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			matchLoop(b, benchEngine(b, v.opts, xs), events)
 		})
 	}
 }

@@ -12,6 +12,14 @@
 // metric: ns/op, the custom events/s metric, and (with -benchmem)
 // B/op and allocs/op. Lines that are not benchmark results pass through
 // untouched to stderr so the human-readable log survives the pipe.
+//
+// With -ab "new=old", benchmark names that differ only in the /new vs
+// /old sub-benchmark segment are paired up (averaging repeated -count
+// runs per side) and an "ab" section records the speedup of new over
+// old, so interleaved A/B runs reduce to one ratio per benchmark:
+//
+//	go test -run '^$' -bench 'E1AB' -count 6 . | \
+//	    go run ./cmd/apcm-benchjson -ab pr3=legacy -out BENCH_pr3.json
 package main
 
 import (
@@ -41,6 +49,7 @@ func main() {
 	var (
 		out   = flag.String("out", "", "output file (default stdout)")
 		match = flag.String("match", ".", "regexp selecting benchmark names to include")
+		ab    = flag.String("ab", "", "variant pair \"new=old\": pair /new vs /old sub-benchmarks and report speedups")
 	)
 	flag.Parse()
 	re, err := regexp.Compile(*match)
@@ -76,11 +85,20 @@ func main() {
 	}
 
 	doc := struct {
-		GOOS       string  `json:"goos,omitempty"`
-		GOARCH     string  `json:"goarch,omitempty"`
-		Pkg        string  `json:"pkg,omitempty"`
-		Benchmarks []entry `json:"benchmarks"`
-	}{goos, goarch, pkg, entries}
+		GOOS       string     `json:"goos,omitempty"`
+		GOARCH     string     `json:"goarch,omitempty"`
+		Pkg        string     `json:"pkg,omitempty"`
+		Benchmarks []entry    `json:"benchmarks"`
+		AB         []abResult `json:"ab,omitempty"`
+	}{goos, goarch, pkg, entries, nil}
+	if *ab != "" {
+		newV, oldV, ok := strings.Cut(*ab, "=")
+		if !ok || newV == "" || oldV == "" {
+			fmt.Fprintf(os.Stderr, "apcm-benchjson: bad -ab %q (want new=old)\n", *ab)
+			os.Exit(2)
+		}
+		doc.AB = pairAB(entries, newV, oldV)
+	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apcm-benchjson: %v\n", err)
@@ -95,6 +113,99 @@ func main() {
 		fmt.Fprintf(os.Stderr, "apcm-benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// abResult is one paired A/B comparison: the "new" variant of a
+// benchmark against its "old" counterpart, averaged over repeated
+// -count runs.
+type abResult struct {
+	Benchmark string `json:"benchmark"`
+	New       string `json:"new"`
+	Old       string `json:"old"`
+	// Samples is the number of interleaved runs averaged per side
+	// (min of the two sides).
+	Samples int     `json:"samples"`
+	NewNs   float64 `json:"new_ns_per_op,omitempty"`
+	OldNs   float64 `json:"old_ns_per_op,omitempty"`
+	NewEvS  float64 `json:"new_events_per_sec,omitempty"`
+	OldEvS  float64 `json:"old_events_per_sec,omitempty"`
+	// Speedup is old/new in ns/op terms (>1 means new is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// pairAB matches every benchmark whose name contains the /newV segment
+// with the same name containing /oldV instead, averages repeated runs
+// on each side, and returns one speedup per pair.
+func pairAB(entries []entry, newV, oldV string) []abResult {
+	type agg struct {
+		ns, evs float64
+		n       int
+	}
+	sum := map[string]*agg{}
+	var order []string
+	for _, e := range entries {
+		a := sum[e.Name]
+		if a == nil {
+			a = &agg{}
+			sum[e.Name] = a
+			order = append(order, e.Name)
+		}
+		a.ns += e.NsPerOp
+		a.evs += e.EventsPerS
+		a.n++
+	}
+	seg := func(name, v string) (string, bool) {
+		// Variant appears as a full sub-benchmark path segment, possibly
+		// followed by the -GOMAXPROCS suffix: ".../pr3-8" or ".../pr3/...".
+		for _, pat := range []string{"/" + v + "-", "/" + v + "/"} {
+			if i := strings.Index(name, pat); i >= 0 {
+				return name[:i] + "\x00" + name[i+len(pat)-1:], true
+			}
+		}
+		if strings.HasSuffix(name, "/"+v) {
+			return strings.TrimSuffix(name, v) + "\x00", true
+		}
+		return "", false
+	}
+	var out []abResult
+	for _, name := range order {
+		key, ok := seg(name, newV)
+		if !ok {
+			continue
+		}
+		var oldName string
+		for _, cand := range order {
+			if ck, ok := seg(cand, oldV); ok && ck == key {
+				oldName = cand
+				break
+			}
+		}
+		if oldName == "" {
+			continue
+		}
+		na, oa := sum[name], sum[oldName]
+		r := abResult{
+			Benchmark: strings.ReplaceAll(key, "\x00", "*"),
+			New:       name, Old: oldName,
+			Samples: min(na.n, oa.n),
+			NewNs:   na.ns / float64(na.n),
+			OldNs:   oa.ns / float64(oa.n),
+			NewEvS:  na.evs / float64(na.n),
+			OldEvS:  oa.evs / float64(oa.n),
+		}
+		if r.NewNs > 0 {
+			r.Speedup = r.OldNs / r.NewNs
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // parseLine decodes one `Benchmark.../sub-1  N  123 ns/op  456 unit ...`

@@ -107,6 +107,45 @@ func main() {
 		fmt.Printf("  <=%-6d %4d  %s\n", b, sizeBuckets[b], bar(sizeBuckets[b], len(clusters)))
 	}
 
+	// Density-adaptive layout: how compilation actually chose to lay the
+	// postings out, so layout decisions are auditable in the field.
+	var hist [12]int
+	var dense, sparse, sparseSlots, eqTables, eqSlots, totalPostings int
+	for _, c := range clusters {
+		dense += c.DensePostings
+		sparse += c.SparsePostings
+		sparseSlots += c.SparseMemberSlots
+		eqTables += c.EqFlatTables
+		eqSlots += c.EqFlatSlots
+		for i, n := range c.PostingHist {
+			hist[i] += n
+			totalPostings += n
+		}
+	}
+	fmt.Printf("\nposting layout: %d dense, %d sparse (%d ids held sparse)\n",
+		dense, sparse, sparseSlots)
+	if eqTables > 0 {
+		fmt.Printf("flat equality tables: %d groups, %d value slots (avg %.1f slots/table)\n",
+			eqTables, eqSlots, float64(eqSlots)/float64(eqTables))
+	} else {
+		fmt.Println("flat equality tables: none (spans too wide or disabled)")
+	}
+	fmt.Println("\nposting density histogram (members per posting):")
+	for i, n := range hist {
+		if n == 0 {
+			continue
+		}
+		lo, hi := 1<<i>>1, 1<<i-1
+		label := fmt.Sprintf("%d-%d", lo, hi)
+		if lo >= hi {
+			label = fmt.Sprintf("%d", hi)
+		}
+		if i == len(hist)-1 {
+			label = fmt.Sprintf(">=%d", lo)
+		}
+		fmt.Printf("  %-8s %6d  %s\n", label, n, bar(n, totalPostings))
+	}
+
 	// Costliest clusters by probed compressed estimate.
 	sort.Slice(clusters, func(i, j int) bool {
 		ci, cj := clusters[i], clusters[j]

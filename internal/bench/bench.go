@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: every table and figure of
 // the evaluation (E1–E14, see DESIGN.md §4) plus the beyond-paper
-// ablations (E15–E17) is a named, runnable experiment that regenerates
+// ablations (E15–E18) is a named, runnable experiment that regenerates
 // the corresponding rows/series. The
 // cmd/apcm-bench binary and the repository-level Go benchmarks are thin
 // wrappers over this package.
@@ -92,7 +92,7 @@ var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
 
-// All returns every experiment in numeric id order (E1, E2, ... E17),
+// All returns every experiment in numeric id order (E1, E2, ... E18),
 // regardless of registration order across files.
 func All() []Experiment {
 	out := make([]Experiment, len(registry))

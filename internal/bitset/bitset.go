@@ -42,6 +42,17 @@ func NewFull(n int) *Bitset {
 	return b
 }
 
+// View wraps words as a Bitset of capacity n without copying. len(words)
+// must equal wordsFor(n); the caller retains ownership of the backing
+// array. The compiler uses View to lay every dense posting of a cluster
+// out in one contiguous slab.
+func View(words []uint64, n int) *Bitset {
+	if len(words) != wordsFor(n) {
+		panic("bitset: View length does not match capacity")
+	}
+	return &Bitset{words: words, n: n}
+}
+
 func wordsFor(n int) int { return (n + wordBits - 1) >> wordShift }
 
 // Len returns the capacity in bits.
@@ -190,22 +201,28 @@ func (b *Bitset) AndUnion(sat, mask *Bitset) bool {
 
 // Or sets b = b OR other in place.
 func (b *Bitset) Or(other *Bitset) {
-	for i := range b.words {
-		b.words[i] |= other.words[i]
+	bw := b.words
+	ow := other.words[:len(bw)]
+	for i := range bw {
+		bw[i] |= ow[i]
 	}
 }
 
 // Xor sets b = b XOR other in place.
 func (b *Bitset) Xor(other *Bitset) {
-	for i := range b.words {
-		b.words[i] ^= other.words[i]
+	bw := b.words
+	ow := other.words[:len(bw)]
+	for i := range bw {
+		bw[i] ^= ow[i]
 	}
 	b.trim()
 }
 
 // CopyFrom overwrites b with other. Capacities must match.
 func (b *Bitset) CopyFrom(other *Bitset) {
-	copy(b.words, other.words)
+	bw := b.words
+	ow := other.words[:len(bw)]
+	copy(bw, ow)
 }
 
 // Clone returns an independent copy of b.
@@ -220,8 +237,10 @@ func (b *Bitset) Equal(other *Bitset) bool {
 	if b.n != other.n {
 		return false
 	}
-	for i := range b.words {
-		if b.words[i] != other.words[i] {
+	bw := b.words
+	ow := other.words[:len(bw)]
+	for i := range bw {
+		if bw[i] != ow[i] {
 			return false
 		}
 	}

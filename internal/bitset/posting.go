@@ -1,0 +1,250 @@
+// Hybrid postings: the compiled match kernel stores one membership set
+// per dictionary entry. On selective workloads most entries hold a
+// handful of members out of hundreds of slots, so a full-width word
+// array wastes both memory and — worse — kernel time: every Or/AndNot
+// sweep walks mostly-zero cache lines. A Posting therefore carries one
+// of two representations, chosen by popcount density:
+//
+//   - dense: a *Bitset, exactly the pre-hybrid layout, used when the
+//     member count exceeds SparseMaxFor(capacity);
+//   - sparse: a sorted []int32 of member ids, whose kernel ops touch
+//     only the listed members (O(k) instead of O(words)).
+//
+// The dense word kernels themselves are untouched; a Posting that is
+// dense behaves byte-for-byte like the *Bitset it wraps.
+package bitset
+
+// SparseMaxFor returns the largest member count at which a posting of
+// capacity n bits is kept sparse. The break-even: one sparse member op
+// is a random-access read-modify-write (a few cycles, one cache line),
+// one dense word op is a streaming triple-access (load-load-store), so
+// sparse pays until the list is a small multiple of the word count.
+func SparseMaxFor(n int) int {
+	m := 2 * wordsFor(n)
+	if m < 4 {
+		m = 4
+	}
+	return m
+}
+
+// Posting is a hybrid membership set over a fixed capacity of member
+// slots. The zero value is unusable; create with NewPosting or
+// DensePosting.
+type Posting struct {
+	b   *Bitset // non-nil iff dense
+	ids []int32 // sorted member ids when sparse
+	n   int     // capacity in bits
+}
+
+// NewPosting returns an empty sparse posting with capacity n.
+func NewPosting(n int) *Posting { return &Posting{n: n} }
+
+// DensePosting wraps an existing dense bitset as a posting.
+func DensePosting(b *Bitset) *Posting { return &Posting{b: b, n: b.Len()} }
+
+// Len returns the capacity in bits (member slots).
+func (p *Posting) Len() int { return p.n }
+
+// IsSparse reports whether p uses the sorted-list representation.
+func (p *Posting) IsSparse() bool { return p.b == nil }
+
+// Dense returns the backing bitset, or nil when sparse.
+func (p *Posting) Dense() *Bitset { return p.b }
+
+// Ids returns the sorted member ids of a sparse posting (nil when
+// dense). Callers must not mutate the slice.
+func (p *Posting) Ids() []int32 { return p.ids }
+
+// Count returns the number of members.
+func (p *Posting) Count() int {
+	if p.b != nil {
+		return p.b.Count()
+	}
+	return len(p.ids)
+}
+
+// Test reports whether member i is present. Sparse postings binary
+// search their (tiny) id list.
+func (p *Posting) Test(i int) bool {
+	if p.b != nil {
+		return p.b.Test(i)
+	}
+	ids := p.ids
+	lo, hi := 0, len(ids)
+	v := int32(i)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == v
+}
+
+// Set adds member i. Sparse postings keep their list sorted (appends of
+// increasing ids — the compiler's only pattern — are O(1)) and promote
+// to the dense representation when they cross SparseMaxFor; this is the
+// promotion boundary the property tests pin down. Setting an already
+// present member is a no-op.
+func (p *Posting) Set(i int) {
+	if p.b != nil {
+		p.b.Set(i)
+		return
+	}
+	v := int32(i)
+	if k := len(p.ids); k == 0 || p.ids[k-1] < v {
+		p.ids = append(p.ids, v)
+	} else {
+		ids := p.ids
+		lo, hi := 0, len(ids)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ids[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if ids[lo] == v {
+			return
+		}
+		p.ids = append(p.ids, 0)
+		copy(p.ids[lo+1:], p.ids[lo:])
+		p.ids[lo] = v
+	}
+	if len(p.ids) > SparseMaxFor(p.n) {
+		p.Promote()
+	}
+}
+
+// Promote converts p to the dense representation in place.
+func (p *Posting) Promote() {
+	if p.b != nil {
+		return
+	}
+	b := New(p.n)
+	for _, id := range p.ids {
+		b.Set(int(id))
+	}
+	p.b, p.ids = b, nil
+}
+
+// Demote converts p to the sparse representation, reporting whether it
+// did; it refuses (returning false) when the popcount exceeds
+// SparseMaxFor. The compiler's finalize pass uses it to undo speculative
+// promotion, and tests use it to probe the demotion boundary.
+func (p *Posting) Demote() bool {
+	if p.b == nil {
+		return true
+	}
+	if p.b.Count() > SparseMaxFor(p.n) {
+		return false
+	}
+	ids := make([]int32, 0, p.b.Count())
+	for it := p.b.IterStart(); it.Valid(); it.Next() {
+		ids = append(ids, int32(it.Index()))
+	}
+	p.b, p.ids = nil, ids
+	return true
+}
+
+// SetDense and SetSparse are the compiler's slab-packing hooks: finalize
+// re-homes each posting's storage into one contiguous per-cluster slab
+// and swaps the backing in. The new backing must hold exactly the same
+// members; nothing here checks that.
+func (p *Posting) SetDense(b *Bitset) { p.b, p.ids = b, nil }
+
+// SetSparse replaces the backing with a sorted id slice (see SetDense).
+func (p *Posting) SetSparse(ids []int32) { p.b, p.ids = nil, ids }
+
+// OrInto sets dst |= p. Sparse postings set only the listed bits.
+func (p *Posting) OrInto(dst *Bitset) {
+	if p.b != nil {
+		dst.Or(p.b)
+		return
+	}
+	w := dst.words
+	for _, id := range p.ids {
+		w[id>>wordShift] |= 1 << (uint(id) & wordMask)
+	}
+}
+
+// CopyInto sets dst = p.
+func (p *Posting) CopyInto(dst *Bitset) {
+	if p.b != nil {
+		dst.CopyFrom(p.b)
+		return
+	}
+	dst.ClearAll()
+	p.OrInto(dst)
+}
+
+// AndNotInto sets dst &^= p. It returns true when dst is known to have
+// become empty: the dense path reports exactly (the kernel's early-exit
+// signal), the sparse path clears only the listed members and
+// conservatively reports false — emptiness there would cost the full
+// sweep the sparse representation exists to avoid.
+func (p *Posting) AndNotInto(dst *Bitset) bool {
+	if p.b != nil {
+		return dst.AndNot(p.b)
+	}
+	w := dst.words
+	for _, id := range p.ids {
+		w[id>>wordShift] &^= 1 << (uint(id) & wordMask)
+	}
+	return false
+}
+
+// AndUnionInto sets dst &= sat | ^p, the compressed kernel's
+// per-attribute step with p as the attribute mask. Emptiness reporting
+// follows AndNotInto: exact when dense, conservatively false when
+// sparse (only the listed members can die, so only they are visited).
+func (p *Posting) AndUnionInto(dst, sat *Bitset) bool {
+	if p.b != nil {
+		return dst.AndUnion(sat, p.b)
+	}
+	w := dst.words
+	sw := sat.words
+	for _, id := range p.ids {
+		bit := uint64(1) << (uint(id) & wordMask)
+		if sw[id>>wordShift]&bit == 0 {
+			w[id>>wordShift] &^= bit
+		}
+	}
+	return false
+}
+
+// AppendSet appends the member ids in ascending order to dst.
+func (p *Posting) AppendSet(dst []int) []int {
+	if p.b != nil {
+		return p.b.AppendSet(dst)
+	}
+	for _, id := range p.ids {
+		dst = append(dst, int(id))
+	}
+	return dst
+}
+
+// ForEach calls fn for every member in ascending order until fn returns
+// false.
+func (p *Posting) ForEach(fn func(i int) bool) {
+	if p.b != nil {
+		p.b.ForEach(fn)
+		return
+	}
+	for _, id := range p.ids {
+		if !fn(int(id)) {
+			return
+		}
+	}
+}
+
+// MemBytes returns the heap footprint of the backing storage.
+func (p *Posting) MemBytes() int {
+	if p.b != nil {
+		return p.b.MemBytes()
+	}
+	return cap(p.ids) * 4
+}

@@ -315,6 +315,24 @@ func (m *Matcher) EndBatch(s *Scratch) {
 		m.dedups.Add(k.dedups)
 		k.dedups = 0
 	}
+	m.FlushOrderCounters(s)
+}
+
+// FlushOrderCounters folds the scratch-local selectivity-order counters
+// into the matcher's aggregates. The batch path does this in EndBatch;
+// the single-event paths (serial and intra-event parallel) call it when
+// a scratch is released, so the counters stay visible on workloads that
+// never run a batch.
+func (m *Matcher) FlushOrderCounters(s *Scratch) {
+	k := &s.kern
+	if k.orderSorts != 0 {
+		m.orderSorts.Add(k.orderSorts)
+		k.orderSorts = 0
+	}
+	if k.earlyExits != 0 {
+		m.earlyExits.Add(k.earlyExits)
+		k.earlyExits = 0
+	}
 }
 
 // MatchBatchAppend matches events in order, appending every match to ids

@@ -18,6 +18,15 @@ var revCounter atomic.Uint64
 
 func nextRev() uint64 { return revCounter.Add(1) }
 
+// layoutOpts gates the density-adaptive layout machinery, per matcher.
+// Each switch disables one independently measurable piece (the E18
+// ablation axes); all off reproduces the pre-hybrid layout exactly.
+type layoutOpts struct {
+	forceDense bool // compile every posting dense (no sparse representation)
+	noEqFlat   bool // keep equality unions in the Go map only
+	noOrder    bool // evaluate groups in attribute order (no kill-rate sort)
+}
+
 // compiled is the compressed form of one BE-Tree pool. Three structures
 // carry the match:
 //
@@ -26,12 +35,16 @@ func nextRev() uint64 { return revCounter.Add(1) }
 //     attribute this member constrains?") that never touches attributes
 //     the event lacks;
 //   - per-attribute groups with an equality-union map (event value →
-//     bitset of members whose first predicate on the attribute is that
-//     equality — one hash lookup replaces evaluating every distinct
-//     equality predicate) plus dictionaries of distinct non-equality
-//     "first" predicates and of "strict" additional predicates (second
-//     and later predicates on the same attribute of one member);
-//   - membership bitsets per dictionary entry, combined word-wide.
+//     posting of members whose first predicate on the attribute is that
+//     equality — one lookup replaces evaluating every distinct equality
+//     predicate) plus dictionaries of distinct non-equality "first"
+//     predicates and of "strict" additional predicates (second and later
+//     predicates on the same attribute of one member);
+//   - membership postings per dictionary entry. A posting is hybrid
+//     (bitset.Posting): dense entries combine word-wide, sparse ones —
+//     the common case on selective workloads — touch only their listed
+//     members. finalize chooses the representation per entry by popcount
+//     and re-homes all posting storage into two per-cluster slabs.
 //
 // Compiled clusters support bounded incremental maintenance so that a
 // subscription update does not force a full recompilation: bitsets are
@@ -51,6 +64,7 @@ type compiled struct {
 	tombs int    // tombstoned members
 	capN  int    // member capacity of every bitset and of masks
 	words int    // member-bitset words (capN/64), for cost accounting
+	lo    layoutOpts
 
 	ids     []expr.ID
 	idToIdx map[expr.ID]int32
@@ -67,8 +81,26 @@ type compiled struct {
 	nAttrs    int
 	awords    int      // words per member attribute mask ((nAttrs+1+63)/64)
 	masks     []uint64 // capN × awords, flat
+	// attrCnt is each member's distinct constrained-attribute count; the
+	// candidate-driven eligibility pass compares occurrence counters
+	// against it. Tombstoned members are set to an unreachable count.
+	attrCnt []uint16
+	// attrDirect, when non-nil, maps attr - attrLo directly to the local
+	// attribute index (-1 = not in the universe): step 1 indexes it per
+	// event pair instead of joining against the sorted universe.
+	attrDirect []int32
+	attrLo     expr.AttrID
 
 	groups []attrGroup // indexed by local attribute index
+
+	// groupKill estimates, per group, how many members one visit kills —
+	// the kernel's selectivity order (largest first) so alive hits zero
+	// in as few groups as possible. Seeded statically by finalize from
+	// entry densities and eq-union coverage, refined online by an EWMA of
+	// kills observed during adaptive probes (noteKills), in 24.8 fixed
+	// point. Atomics because probes on different goroutines may race; the
+	// estimate is heuristic, so racy read-modify-write is acceptable.
+	groupKill []atomic.Uint32
 
 	// Dictionary indexes (canonical predicate key → entry position) are
 	// retained to support incremental appends.
@@ -84,10 +116,17 @@ type compiled struct {
 type attrGroup struct {
 	// attrBits marks members with at least one predicate on the
 	// attribute; members outside it are unaffected by this group.
-	attrBits *bitset.Bitset
+	attrBits *bitset.Posting
 	// eqUnion maps a value to the members whose first predicate on this
-	// attribute is equality with that value.
-	eqUnion map[expr.Value]*bitset.Bitset
+	// attribute is equality with that value. Always authoritative; when
+	// eqFlat is non-nil the kernel probes that instead.
+	eqUnion map[expr.Value]*bitset.Posting
+	// eqFlat is a value-indexed view of eqUnion covering [eqLo, eqLo+len):
+	// one bounds check and an array load replace the map probe. Built by
+	// finalize when the observed value range is small; dropped (nil) if an
+	// incremental append brings a value outside the compiled range.
+	eqFlat []*bitset.Posting
+	eqLo   expr.Value
 	// first holds the distinct non-equality first predicates.
 	first []dictEntry
 	// strict holds the distinct additional predicates; a member already
@@ -101,7 +140,7 @@ type attrGroup struct {
 // it keys the batch predicate memo.
 type dictEntry struct {
 	pred *expr.Predicate
-	bits *bitset.Bitset
+	bits *bitset.Posting
 	seq  uint32
 }
 
@@ -111,13 +150,35 @@ func slackCapacity(n int) int {
 	return (c + 63) &^ 63
 }
 
-// compile builds the compressed form of p at its current generation.
-func compile(p *betree.Pool) *compiled {
+// eqFlat sizing: a flat table spends one pointer per value in the span,
+// so it is built only when the span is bounded in absolute terms and not
+// grossly larger than the number of distinct values it indexes.
+const (
+	eqFlatMaxSpan    = 4096 // never spend more than 32 KiB of pointers per group
+	eqFlatSpanFactor = 32   // allow up to this many empty slots per distinct value
+	eqFlatMinSpan    = 64   // spans this small are always acceptable
+)
+
+// sparseSlabSlack is the per-posting append headroom finalize leaves in
+// the shared id slab. A posting that outgrows its slack re-allocates
+// privately (the slab slice is capacity-clamped), so neighbours are
+// never clobbered.
+const sparseSlabSlack = 2
+
+// compile builds the compressed form of p at its current generation with
+// the default layout (hybrid postings, flat equality tables). Tests use
+// it directly; the matcher goes through compileOpts to apply its
+// configured layout switches.
+func compile(p *betree.Pool) *compiled { return compileOpts(p, layoutOpts{}) }
+
+// compileOpts builds the compressed form of p under the given layout.
+func compileOpts(p *betree.Pool, lo layoutOpts) *compiled {
 	n := len(p.Exprs)
 	c := &compiled{
 		gen:     p.Gen,
 		rev:     nextRev(),
 		capN:    slackCapacity(n),
+		lo:      lo,
 		ids:     make([]expr.ID, 0, n),
 		idToIdx: make(map[expr.ID]int32, n),
 		attrIdx: make(map[expr.AttrID]int32),
@@ -136,6 +197,7 @@ func compile(p *betree.Pool) *compiled {
 	}
 	c.awords = (c.nAttrs + 1 + 63) / 64
 	c.masks = make([]uint64, c.capN*c.awords)
+	c.attrCnt = make([]uint16, 0, c.capN)
 	c.groups = make([]attrGroup, c.nAttrs)
 	c.firstIdx = make([]map[string]int, c.nAttrs)
 	c.strictIdx = make([]map[string]int, c.nAttrs)
@@ -153,7 +215,21 @@ func compile(p *betree.Pool) *compiled {
 	for _, x := range p.Exprs {
 		c.append(x)
 	}
+
+	// Pass 3: density-aware layout (slabs, flat eq tables, kill seeds).
+	c.finalize()
 	return c
+}
+
+// newPosting allocates an empty posting in the configured representation.
+// Hybrid postings start sparse; Set promotes them past the density
+// boundary (member indexes only grow during a build, so the sorted-list
+// appends are O(1)).
+func (c *compiled) newPosting() *bitset.Posting {
+	if c.lo.forceDense {
+		return bitset.DensePosting(bitset.New(c.capN))
+	}
+	return bitset.NewPosting(c.capN)
 }
 
 // append adds x as the next member. Every attribute of x must already be
@@ -166,6 +242,7 @@ func (c *compiled) append(x *expr.Expression) {
 	c.idToIdx[x.ID] = int32(idx)
 	mask := c.masks[idx*c.awords : (idx+1)*c.awords]
 	var key []byte
+	distinct := uint16(0)
 
 	for j := range x.Preds {
 		pr := &x.Preds[j]
@@ -173,7 +250,7 @@ func (c *compiled) append(x *expr.Expression) {
 		li := c.attrIdx[pr.Attr]
 		g := &c.groups[li]
 		if g.attrBits == nil {
-			g.attrBits = bitset.New(c.capN)
+			g.attrBits = c.newPosting()
 		}
 		g.attrBits.Set(idx)
 		mask[li>>6] |= 1 << (uint(li) & 63)
@@ -181,16 +258,29 @@ func (c *compiled) append(x *expr.Expression) {
 		// Predicates are attribute-sorted within an expression, so
 		// "first on this attribute" is "previous predicate differs".
 		isFirst := j == 0 || x.Preds[j-1].Attr != pr.Attr
+		if isFirst {
+			distinct++
+		}
 		switch {
 		case isFirst && pr.Op == expr.EQ:
 			if g.eqUnion == nil {
-				g.eqUnion = make(map[expr.Value]*bitset.Bitset)
+				g.eqUnion = make(map[expr.Value]*bitset.Posting)
 			}
 			u := g.eqUnion[pr.Lo]
 			if u == nil {
-				u = bitset.New(c.capN)
+				u = c.newPosting()
 				g.eqUnion[pr.Lo] = u
 				c.distinctPreds++
+				if g.eqFlat != nil {
+					// Keep the flat view coherent with the map; a value
+					// outside the compiled span drops the accelerator
+					// (the map stays authoritative).
+					if d := int64(pr.Lo) - int64(g.eqLo); uint64(d) < uint64(len(g.eqFlat)) {
+						g.eqFlat[d] = u
+					} else {
+						g.eqFlat = nil
+					}
+				}
 			}
 			u.Set(idx)
 		case isFirst:
@@ -203,7 +293,7 @@ func (c *compiled) append(x *expr.Expression) {
 				ei = len(g.first)
 				c.firstIdx[li][string(key)] = ei
 				c.seqCount++
-				g.first = append(g.first, dictEntry{pred: pr, bits: bitset.New(c.capN), seq: c.seqCount})
+				g.first = append(g.first, dictEntry{pred: pr, bits: c.newPosting(), seq: c.seqCount})
 				c.distinctPreds++
 			}
 			g.first[ei].bits.Set(idx)
@@ -217,11 +307,142 @@ func (c *compiled) append(x *expr.Expression) {
 				ei = len(g.strict)
 				c.strictIdx[li][string(key)] = ei
 				c.seqCount++
-				g.strict = append(g.strict, dictEntry{pred: pr, bits: bitset.New(c.capN), seq: c.seqCount})
+				g.strict = append(g.strict, dictEntry{pred: pr, bits: c.newPosting(), seq: c.seqCount})
 				c.distinctPreds++
 			}
 			g.strict[ei].bits.Set(idx)
 		}
+	}
+	c.attrCnt = append(c.attrCnt, distinct)
+}
+
+// forEachPosting visits every posting of the cluster, in a fixed order.
+func (c *compiled) forEachPosting(fn func(p *bitset.Posting)) {
+	for gi := range c.groups {
+		g := &c.groups[gi]
+		if g.attrBits != nil {
+			fn(g.attrBits)
+		}
+		for _, u := range g.eqUnion {
+			fn(u)
+		}
+		for i := range g.first {
+			fn(g.first[i].bits)
+		}
+		for i := range g.strict {
+			fn(g.strict[i].bits)
+		}
+	}
+}
+
+// finalize runs the density-aware layout pass after all members are in:
+//
+//  1. Slab packing: every dense posting's words move into one contiguous
+//     []uint64 (like masks already is) and every sparse posting's ids
+//     into one []int32 with per-posting append slack, so the group loop
+//     walks two arrays instead of chasing per-entry allocations.
+//  2. Flat equality tables: groups whose observed equality-value span is
+//     small get a value-indexed eqFlat view over the eqUnion map.
+//  3. Static selectivity: groupKill is seeded per group from entry
+//     density and eq-union coverage — members constrained minus expected
+//     survivors (the average eq-union size plus half the non-equality
+//     first members) — giving the kernel a kill order before the first
+//     adaptive probe refines it.
+func (c *compiled) finalize() {
+	c.groupKill = make([]atomic.Uint32, c.nAttrs)
+
+	// 1. Slab packing. Representations are already settled (Set promotes
+	// at the density boundary; forceDense builds dense outright).
+	denseWords, sparseIds := 0, 0
+	c.forEachPosting(func(p *bitset.Posting) {
+		if p.IsSparse() {
+			sparseIds += len(p.Ids()) + sparseSlabSlack
+		} else {
+			denseWords += c.words
+		}
+	})
+	dslab := make([]uint64, denseWords)
+	sslab := make([]int32, sparseIds)
+	do, so := 0, 0
+	c.forEachPosting(func(p *bitset.Posting) {
+		if p.IsSparse() {
+			ids := p.Ids()
+			dst := sslab[so : so+len(ids) : so+len(ids)+sparseSlabSlack]
+			copy(dst, ids)
+			p.SetSparse(dst)
+			so += len(ids) + sparseSlabSlack
+		} else {
+			v := bitset.View(dslab[do:do+c.words], c.capN)
+			p.CopyInto(v)
+			p.SetDense(v)
+			do += c.words
+		}
+	})
+
+	// 2. Flat attribute dictionary: a direct value-indexed attr → local
+	// index table replaces the step-1 merge-join/search against c.attrs
+	// when the universe's id span is bounded (same sizing logic as the
+	// flat equality tables). tryAppend never grows the universe, so the
+	// table stays coherent across incremental maintenance.
+	if !c.lo.noEqFlat && c.nAttrs > 0 {
+		lo, hi := c.attrs[0], c.attrs[len(c.attrs)-1]
+		span := int64(hi) - int64(lo) + 1
+		if span <= eqFlatMaxSpan && span <= int64(eqFlatSpanFactor*c.nAttrs+eqFlatMinSpan) {
+			dir := make([]int32, span)
+			for i := range dir {
+				dir[i] = -1
+			}
+			for i, a := range c.attrs {
+				dir[int64(a)-int64(lo)] = c.attrLocal[i]
+			}
+			c.attrDirect, c.attrLo = dir, lo
+		}
+	}
+
+	// 3 + 4. Per-group flat equality tables and kill seeds.
+	for gi := range c.groups {
+		g := &c.groups[gi]
+		if g.attrBits == nil {
+			continue
+		}
+		eqTotal := 0
+		if len(g.eqUnion) > 0 {
+			first := true
+			var lo, hi expr.Value
+			for v, u := range g.eqUnion {
+				eqTotal += u.Count()
+				if first || v < lo {
+					lo = v
+				}
+				if first || v > hi {
+					hi = v
+				}
+				first = false
+			}
+			if !c.lo.noEqFlat {
+				span := int64(hi) - int64(lo) + 1
+				if span <= eqFlatMaxSpan && span <= int64(eqFlatSpanFactor*len(g.eqUnion)+eqFlatMinSpan) {
+					flat := make([]*bitset.Posting, span)
+					for v, u := range g.eqUnion {
+						flat[int64(v)-int64(lo)] = u
+					}
+					g.eqFlat, g.eqLo = flat, lo
+				}
+			}
+		}
+		firstTotal := 0
+		for i := range g.first {
+			firstTotal += g.first[i].bits.Count()
+		}
+		surv := firstTotal / 2
+		if n := len(g.eqUnion); n > 0 {
+			surv += eqTotal / n
+		}
+		kills := g.attrBits.Count() - surv
+		if kills < 0 {
+			kills = 0
+		}
+		c.groupKill[gi].Store(uint32(kills) << killPointShift)
 	}
 }
 
@@ -230,7 +451,9 @@ func (c *compiled) append(x *expr.Expression) {
 // generation behind (i.e. the insert is the only unseen change), slot
 // capacity remains, tombstones have not piled up, and the expression
 // introduces no new attribute. On success the cluster advances to the
-// pool's generation.
+// pool's generation. Sparse postings absorb the append through their
+// slab slack (overflowing ones re-allocate privately) and may promote
+// to dense when the new member crosses the density boundary.
 func (c *compiled) tryAppend(p *betree.Pool, x *expr.Expression) bool {
 	if c.gen+1 != p.Gen || c.n >= c.capN || c.needsRebuild() {
 		return false
@@ -259,6 +482,7 @@ func (c *compiled) tryTombstone(p *betree.Pool, id expr.ID) bool {
 	}
 	tomb := c.nAttrs // reserved local slot
 	c.masks[int(idx)*c.awords+tomb>>6] |= 1 << (uint(tomb) & 63)
+	c.attrCnt[idx] = 0xFFFF // unreachable occurrence count: never eligible
 	delete(c.idToIdx, id)
 	c.tombs++
 	c.gen = p.Gen
@@ -273,6 +497,47 @@ func (c *compiled) needsRebuild() bool { return c.tombs*2 > c.n }
 // live returns the number of live members.
 func (c *compiled) live() int { return c.n - c.tombs }
 
+// postingTally summarises the cluster's layout decisions for
+// diagnostics: chosen representations, sparse volume, flat-table sizes
+// and a log2-bucketed posting-density histogram (bucket i counts
+// postings with member count in [2^(i-1), 2^i)).
+type postingTally struct {
+	Dense         int
+	Sparse        int
+	SparseMembers int
+	EqFlatTables  int
+	EqFlatSlots   int
+	Hist          [12]int
+}
+
+func (c *compiled) tally() postingTally {
+	var t postingTally
+	c.forEachPosting(func(p *bitset.Posting) {
+		n := p.Count()
+		if p.IsSparse() {
+			t.Sparse++
+			t.SparseMembers += n
+		} else {
+			t.Dense++
+		}
+		b := 0
+		for 1<<b <= n {
+			b++
+		}
+		if b >= len(t.Hist) {
+			b = len(t.Hist) - 1
+		}
+		t.Hist[b]++
+	})
+	for gi := range c.groups {
+		if f := c.groups[gi].eqFlat; f != nil {
+			t.EqFlatTables++
+			t.EqFlatSlots += len(f)
+		}
+	}
+	return t
+}
+
 // memoryBytes estimates the cluster's heap footprint.
 func (c *compiled) memoryBytes() int64 {
 	var b int64
@@ -284,6 +549,7 @@ func (c *compiled) memoryBytes() int64 {
 		for _, u := range g.eqUnion {
 			b += int64(u.MemBytes()) + 16
 		}
+		b += int64(len(g.eqFlat)) * 8
 		for i := range g.first {
 			b += int64(g.first[i].bits.MemBytes()) + 24
 		}
@@ -291,7 +557,8 @@ func (c *compiled) memoryBytes() int64 {
 			b += int64(g.strict[i].bits.MemBytes()) + 24
 		}
 	}
-	b += int64(len(c.ids))*8 + int64(len(c.masks))*8
+	b += int64(len(c.ids))*8 + int64(len(c.masks))*8 + int64(len(c.groupKill))*4 + int64(len(c.attrCnt))*2
+	b += int64(len(c.attrDirect)) * 4
 	b += int64(len(c.attrIdx))*16 + int64(len(c.idToIdx))*24
 	return b
 }

@@ -85,6 +85,24 @@ type Config struct {
 	// DisableMemo turns off the cross-event predicate memo armed by
 	// BeginBatch (ablation switch for the batch experiments).
 	DisableMemo bool
+	// DisableHybridPostings compiles every posting dense, as before the
+	// density-adaptive layout (ablation switch, see E18).
+	DisableHybridPostings bool
+	// DisableFlatEq keeps equality unions in the Go map only, never
+	// building the value-indexed flat tables (ablation switch).
+	DisableFlatEq bool
+	// DisableGroupOrder evaluates groups in attribute order instead of
+	// descending estimated-kill order (ablation switch).
+	DisableGroupOrder bool
+}
+
+// layout derives the compile-time layout switches from the config.
+func (c *Config) layout() layoutOpts {
+	return layoutOpts{
+		forceDense: c.DisableHybridPostings,
+		noEqFlat:   c.DisableFlatEq,
+		noOrder:    c.DisableGroupOrder,
+	}
 }
 
 // DefaultConfig returns the configuration used by the benchmarks.
@@ -148,6 +166,12 @@ type Matcher struct {
 	memoBatchSeq atomic.Uint64
 	sortRate     atomic.Uint64
 	sortBatchSeq atomic.Uint64
+
+	// Selectivity-order effectiveness (see kernel.go step 3): kill-sorted
+	// group evaluations and early exits taken. Accumulated per Scratch,
+	// flushed by EndBatch like the cache counters above.
+	orderSorts atomic.Int64
+	earlyExits atomic.Int64
 
 	// scratch backs the plain MatchAppend entry point (single-threaded
 	// use); parallel callers bring their own via NewScratch/MatchWith.
@@ -288,7 +312,7 @@ func (m *Matcher) clusterFor(p *betree.Pool) *clusterState {
 		m.clusters[p] = cs
 	}
 	if cs.compiled == nil || cs.compiled.gen != p.Gen || cs.compiled.needsRebuild() {
-		cs.compiled = compile(p)
+		cs.compiled = compileOpts(p, m.cfg.layout())
 	}
 	return cs
 }
@@ -303,10 +327,22 @@ type Stats struct {
 	CompressedBytes   int64
 	CompressedServing int // clusters currently routed to the compressed kernel
 
+	// Density-adaptive layout tallies (see compile.go finalize): chosen
+	// posting representations, sparse volume, and flat equality tables.
+	DensePostings     int
+	SparsePostings    int
+	SparseMemberSlots int // Σ ids held by sparse postings
+	EqFlatTables      int
+	EqFlatSlots       int // Σ value slots across flat tables
+
 	// Adaptive-policy counters, cumulative since matcher creation.
 	Probes              int64 // events served by both kernels for costing
 	FlipsToCompressed   int64 // cluster re-decisions toward the compressed kernel
 	FlipsToUncompressed int64 // cluster re-decisions toward the scan kernel
+
+	// Selectivity-order counters, flushed by EndBatch.
+	GroupOrderSorts      int64 // group loops evaluated in kill order
+	GroupOrderEarlyExits int64 // group loops exited on an emptied alive set
 }
 
 // CompressionRatio is PredicateSlots / DistinctPreds: how many predicate
@@ -328,10 +364,12 @@ func (m *Matcher) AdaptiveCounters() (probes, flipsToCompressed, flipsToUncompre
 // clusters visited by earlier matches are counted.
 func (m *Matcher) Stats() Stats {
 	st := Stats{
-		Tree:                m.tree.Stats(),
-		Probes:              m.probes.Load(),
-		FlipsToCompressed:   m.flipsC.Load(),
-		FlipsToUncompressed: m.flipsU.Load(),
+		Tree:                 m.tree.Stats(),
+		Probes:               m.probes.Load(),
+		FlipsToCompressed:    m.flipsC.Load(),
+		FlipsToUncompressed:  m.flipsU.Load(),
+		GroupOrderSorts:      m.orderSorts.Load(),
+		GroupOrderEarlyExits: m.earlyExits.Load(),
 	}
 	m.cmu.RLock()
 	defer m.cmu.RUnlock()
@@ -342,11 +380,25 @@ func (m *Matcher) Stats() Stats {
 		st.PredicateSlots += c.predSlots
 		st.DistinctPreds += c.distinctPreds
 		st.CompressedBytes += c.memoryBytes()
+		t := c.tally()
+		st.DensePostings += t.Dense
+		st.SparsePostings += t.Sparse
+		st.SparseMemberSlots += t.SparseMembers
+		st.EqFlatTables += t.EqFlatTables
+		st.EqFlatSlots += t.EqFlatSlots
 		if cs.mode.Load() == int32(kernelCompressed) {
 			st.CompressedServing++
 		}
 	}
 	return st
+}
+
+// OrderCounters reports the cumulative selectivity-order counters
+// without touching the cluster map — cheap enough for metric scrapes.
+// Like the batch cache counters they are flushed by EndBatch, so
+// in-flight batches are not yet visible.
+func (m *Matcher) OrderCounters() (sorts, earlyExits int64) {
+	return m.orderSorts.Load(), m.earlyExits.Load()
 }
 
 // ClusterInfo describes one compiled cluster for diagnostics.
@@ -362,6 +414,15 @@ type ClusterInfo struct {
 	// Cost estimates from adaptive probes, ns/event (0 before any probe).
 	EwmaCompressedNs float64
 	EwmaScanNs       float64
+	// Density-adaptive layout decisions (see compile.go finalize).
+	DensePostings     int
+	SparsePostings    int
+	SparseMemberSlots int
+	EqFlatTables      int
+	EqFlatSlots       int
+	// PostingHist is a log2-bucketed posting-density histogram: bucket i
+	// counts postings with member count in [2^(i-1), 2^i).
+	PostingHist [12]int
 }
 
 // Clusters snapshots every compiled cluster's diagnostics.
@@ -372,17 +433,24 @@ func (m *Matcher) Clusters() []ClusterInfo {
 	for _, cs := range m.clusters {
 		c := cs.compiled
 		ewmaC, ewmaU, mode := cs.estimates()
+		t := c.tally()
 		out = append(out, ClusterInfo{
-			Members:          c.n,
-			Live:             c.live(),
-			Tombstones:       c.tombs,
-			Attrs:            c.nAttrs,
-			PredSlots:        c.predSlots,
-			DistinctPreds:    c.distinctPreds,
-			MemBytes:         c.memoryBytes(),
-			Compressed:       mode == kernelCompressed,
-			EwmaCompressedNs: ewmaC,
-			EwmaScanNs:       ewmaU,
+			Members:           c.n,
+			Live:              c.live(),
+			Tombstones:        c.tombs,
+			Attrs:             c.nAttrs,
+			PredSlots:         c.predSlots,
+			DistinctPreds:     c.distinctPreds,
+			MemBytes:          c.memoryBytes(),
+			Compressed:        mode == kernelCompressed,
+			EwmaCompressedNs:  ewmaC,
+			EwmaScanNs:        ewmaU,
+			DensePostings:     t.Dense,
+			SparsePostings:    t.Sparse,
+			SparseMemberSlots: t.SparseMembers,
+			EqFlatTables:      t.EqFlatTables,
+			EqFlatSlots:       t.EqFlatSlots,
+			PostingHist:       t.Hist,
 		})
 	}
 	return out

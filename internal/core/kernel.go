@@ -12,9 +12,10 @@ import (
 // word-wide bitset operations; the adaptive policy only ever compares
 // the two kernels' totals, so relative weights are what matter.
 const (
-	costPredEval = 4 // one Predicate.Matches call (or one hash probe)
-	costWordOp   = 1 // one 64-bit word of bitset work
-	costExprLoop = 1 // per-expression loop overhead in the scan kernel
+	costPredEval     = 4 // one Predicate.Matches call (or one hash probe)
+	costWordOp       = 1 // one 64-bit word of bitset work
+	costExprLoop     = 1 // per-expression loop overhead in the scan kernel
+	costSparseMember = 1 // one listed member of a sparse posting (test/clear)
 )
 
 // eligCacheMinWork gates the eligibility cache: for clusters whose
@@ -26,9 +27,26 @@ const eligCacheMinWork = 64
 // satisfied bitsets must match the cluster's member count exactly, so
 // they are kept per size; distinct cluster sizes are few in practice.
 type kernelScratch struct {
-	bySize  map[int]*buffers
+	// Two-entry inline cache in front of bySize: a match sweep visits
+	// runs of same-capacity clusters, and the map hash was measurable per
+	// matchCompressed call on small clusters. Capacity 0 never occurs
+	// (slackCapacity rounds up to 64), so the zero value misses cleanly.
+	b1n, b2n int
+	b1, b2   *buffers
+	bySize   map[int]*buffers
+
 	present []uint64   // attribute-present mask over the cluster-local universe
 	hits    []groupHit // present groups for the current event
+
+	// firstHits collects the matched non-equality first postings of the
+	// group in flight, so the single-posting cases can skip building the
+	// satisfied union entirely.
+	firstHits []*bitset.Posting
+
+	// eligIds collects the members found eligible by the candidate pass;
+	// alive is materialised from it only when it is non-empty (the common
+	// selective case skips the bitset entirely).
+	eligIds []int32
 
 	vt   valueTable // dense attr → value table for the current event
 	memo predMemo   // cross-event predicate memo, armed per batch
@@ -42,31 +60,56 @@ type kernelScratch struct {
 	batchEvents int64
 
 	// Cache effectiveness counters, accumulated locally (the hot path
-	// must stay atomic-free) and flushed to the Matcher by EndBatch.
+	// must stay atomic-free) and flushed to the Matcher by EndBatch on
+	// the batch path or FlushOrderCounters on scratch release.
 	memoHits, memoLookups int64
 	eligHits, eligLookups int64
 	dedups                int64
+	// Selectivity-order counters: kill-sorted group evaluations and
+	// early exits taken before the group loop finished.
+	orderSorts, earlyExits int64
 }
 
 type buffers struct {
 	alive *bitset.Bitset
 	sat   *bitset.Bitset
+	// mark holds the candidate-eligibility occurrence counters, packed
+	// epoch<<16 | count so one random access carries both the stamp and
+	// the count (epoch-stamping replaces a clear per event). The 16-bit
+	// epoch wraps every 64k events, at which point mark is cleared.
+	mark  []uint32
+	epoch uint32
 }
 
 type groupHit struct {
 	local int32
 	val   expr.Value
+	kill  uint32 // groupKill estimate loaded for the kill-order sort
 }
 
 func (s *kernelScratch) get(n int) *buffers {
+	if n == s.b1n {
+		return s.b1
+	}
+	if n == s.b2n {
+		s.b1, s.b2 = s.b2, s.b1
+		s.b1n, s.b2n = s.b2n, s.b1n
+		return s.b1
+	}
 	if s.bySize == nil {
 		s.bySize = make(map[int]*buffers)
 	}
 	b := s.bySize[n]
 	if b == nil {
-		b = &buffers{alive: bitset.New(n), sat: bitset.New(n)}
+		b = &buffers{
+			alive: bitset.New(n),
+			sat:   bitset.New(n),
+			mark:  make([]uint32, n),
+		}
 		s.bySize[n] = b
 	}
+	s.b2, s.b2n = s.b1, s.b1n
+	s.b1, s.b1n = b, n
 	return b
 }
 
@@ -100,13 +143,25 @@ func (s *kernelScratch) predMatches(rev uint64, e *dictEntry, val expr.Value) bo
 //     absent groups themselves. Consecutive events with the same
 //     attribute set — the common case after OSR — hit the per-cluster
 //     eligibility cache and skip the sweep entirely.
-//  3. Per present group: one equality-union hash probe plus evaluation
-//     of the distinct non-equality predicates (memoized across the
-//     batch) yields the satisfied union; alive &= satisfied | ^attrBits.
-//     Failed strict predicates AND-NOT out individually.
+//  3. Per present group, in descending estimated-kill order (groupKill):
+//     one equality probe (flat table or map) plus evaluation of the
+//     distinct non-equality predicates (memoized across the batch)
+//     yields the satisfied union; alive &= satisfied | ^attrBits, where
+//     sparse groups touch only their listed members. Failed strict
+//     predicates AND-NOT out individually. Dense ops report emptiness
+//     exactly, so the loop exits as soon as alive hits zero — the kill
+//     order exists to make that happen in as few groups as possible.
 //
 // Returns the appended dst and the work units spent.
 func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
+	return c.matchHybrid(s, e, dst, false)
+}
+
+// matchHybrid is matchCompressed with an optional measurement mode:
+// adaptive probes pass measure=true, which counts the members each
+// present group actually killed and folds them into the groupKill EWMAs.
+// The popcounts are paid only on probe events.
+func (c *compiled) matchHybrid(s *kernelScratch, e *expr.Event, dst []expr.ID, measure bool) ([]expr.ID, int) {
 	bufs := s.get(c.capN)
 	alive, sat := bufs.alive, bufs.sat
 	cost := 0
@@ -121,21 +176,40 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 	}
 	s.hits = s.hits[:0]
 	pairs := e.Pairs()
-	ca := c.attrs
-	cost += (len(pairs) + len(ca)) * costWordOp
-	for i, j := 0, 0; i < len(pairs) && j < len(ca); {
-		a, b := pairs[i].Attr, ca[j]
-		switch {
-		case a == b:
-			li := c.attrLocal[j]
+	if dir := c.attrDirect; dir != nil {
+		// Flat attribute dictionary: one bounds check and an array load
+		// per event pair, independent of the universe width.
+		cost += len(pairs) * costWordOp
+		lo0 := int64(c.attrLo)
+		for i := range pairs {
+			d := int64(pairs[i].Attr) - lo0
+			if uint64(d) >= uint64(len(dir)) {
+				continue
+			}
+			li := dir[d]
+			if li < 0 {
+				continue
+			}
 			present[li>>6] |= 1 << (uint(li) & 63)
 			s.hits = append(s.hits, groupHit{local: li, val: pairs[i].Val})
-			i++
-			j++
-		case a < b:
-			i++
-		default:
-			j++
+		}
+	} else {
+		ca := c.attrs
+		cost += (len(pairs) + len(ca)) * costWordOp
+		for i, j := 0, 0; i < len(pairs) && j < len(ca); {
+			a, b := pairs[i].Attr, ca[j]
+			switch {
+			case a == b:
+				li := c.attrLocal[j]
+				present[li>>6] |= 1 << (uint(li) & 63)
+				s.hits = append(s.hits, groupHit{local: li, val: pairs[i].Val})
+				i++
+				j++
+			case a < b:
+				i++
+			default:
+				j++
+			}
 		}
 	}
 	if len(s.hits) == 0 {
@@ -165,69 +239,213 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 		}
 	}
 	if !cached {
-		alive.ClearAll()
-		aw := alive.Words()
-		cost += c.n * c.awords * costWordOp
+		// Candidate-driven eligibility: an eligible member has every one
+		// of its attributes present, so it appears in the attrBits posting
+		// of each present group. When those postings are all sparse and
+		// their combined membership is smaller than the full mask sweep,
+		// enumerating them visits only members that can possibly survive —
+		// on heterogeneous clusters (many rare attributes) that is a
+		// handful of counter bumps instead of n mask checks.
+		cand := 0
+		for i := range s.hits {
+			ab := c.groups[s.hits[i].local].attrBits
+			if !ab.IsSparse() {
+				cand = -1
+				break
+			}
+			cand += ab.Count()
+		}
 		anyAlive := false
-		for m := 0; m < c.n; m++ {
-			mask := c.masks[m*c.awords : (m+1)*c.awords]
-			ok := true
-			for w := range mask {
-				if mask[w]&^present[w] != 0 {
-					ok = false
-					break
+		if cand >= 0 && cand*(c.awords+2) < c.n*c.awords {
+			// Count occurrences instead of re-checking masks: a member is
+			// eligible exactly when every one of its groups was visited,
+			// i.e. when its occurrence count reaches its distinct
+			// constrained-attribute count. Tombstoned members carry an
+			// unreachable count and can never trip the equality.
+			cost += cand * 2 * costSparseMember
+			bufs.epoch++
+			if bufs.epoch&0xFFFF == 0 { // 16-bit stamp wrapped: clear stale marks
+				for i := range bufs.mark {
+					bufs.mark[i] = 0
+				}
+				bufs.epoch++
+			}
+			stamp := bufs.epoch << 16
+			mark, ac := bufs.mark, c.attrCnt
+			elig := s.eligIds[:0]
+			for i := range s.hits {
+				for _, id := range c.groups[s.hits[i].local].attrBits.Ids() {
+					v := mark[id]
+					if v&0xFFFF0000 == stamp {
+						v++
+					} else {
+						v = stamp | 1
+					}
+					mark[id] = v
+					if uint16(v) == ac[id] {
+						elig = append(elig, id)
+					}
 				}
 			}
-			if ok {
-				aw[m>>6] |= 1 << (uint(m) & 63)
-				anyAlive = true
+			s.eligIds = elig
+			anyAlive = len(elig) > 0
+			if !anyAlive && ce == nil {
+				return dst, cost
+			}
+			alive.ClearAll()
+			aw := alive.Words()
+			for _, id := range elig {
+				aw[id>>6] |= 1 << (uint(id) & 63)
+			}
+		} else {
+			alive.ClearAll()
+			aw := alive.Words()
+			cost += c.n * c.awords * costWordOp
+			for m := 0; m < c.n; m++ {
+				mask := c.masks[m*c.awords : (m+1)*c.awords]
+				ok := true
+				for w := range mask {
+					if mask[w]&^present[w] != 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					aw[m>>6] |= 1 << (uint(m) & 63)
+					anyAlive = true
+				}
 			}
 		}
 		if ce != nil {
-			ce.store(present, aw, anyAlive)
+			ce.store(present, alive.Words(), anyAlive)
 		}
 		if !anyAlive {
 			return dst, cost
 		}
 	}
 
-	// Step 3: present groups.
+	// Step 3: present groups, highest estimated kill first. Group effects
+	// commute (each is alive &= f(group)), so any order yields the same
+	// survivors; the sort only decides how soon alive can hit zero.
+	// Insertion sort in place: hits are few and nearly sorted is common.
+	if hits := s.hits; !c.lo.noOrder && len(hits) > 1 {
+		for i := range hits {
+			hits[i].kill = c.groupKill[hits[i].local].Load()
+		}
+		for i := 1; i < len(hits); i++ {
+			h := hits[i]
+			j := i
+			for j > 0 && hits[j-1].kill < h.kill {
+				hits[j] = hits[j-1]
+				j--
+			}
+			hits[j] = h
+		}
+		s.orderSorts++
+	}
+
 	for _, h := range s.hits {
 		g := &c.groups[h.local]
-		// Satisfied union: equality probe plus distinct non-equality
-		// first predicates.
-		haveSat := false
-		if g.eqUnion != nil {
+		before := 0
+		if measure {
+			before = alive.Count()
+		}
+
+		// Satisfied union inputs: the equality probe (flat table when
+		// compiled, map otherwise) and the matched non-equality first
+		// predicates.
+		var u *bitset.Posting
+		if g.eqFlat != nil {
 			cost += costPredEval
-			if u := g.eqUnion[h.val]; u != nil {
-				sat.CopyFrom(u)
-				haveSat = true
-				cost += c.words * costWordOp
+			if d := int64(h.val) - int64(g.eqLo); uint64(d) < uint64(len(g.eqFlat)) {
+				u = g.eqFlat[d]
 			}
+		} else if g.eqUnion != nil {
+			cost += costPredEval
+			u = g.eqUnion[h.val]
 		}
-		if !haveSat {
-			sat.ClearAll()
-			cost += c.words * costWordOp
-		}
+		fh := s.firstHits[:0]
 		for ei := range g.first {
 			cost += costPredEval
 			if s.predMatches(c.rev, &g.first[ei], h.val) {
-				sat.Or(g.first[ei].bits)
-				cost += c.words * costWordOp
+				fh = append(fh, g.first[ei].bits)
 			}
 		}
-		cost += c.words * costWordOp
-		if alive.AndUnion(sat, g.attrBits) {
+		s.firstHits = fh
+
+		emptied := false
+		if ab := g.attrBits; ab.IsSparse() {
+			// Sparse group: only the listed members are constrained, so
+			// test and clear exactly those instead of sweeping words. Any
+			// eq union or first posting here is sparse too (subsets of
+			// attrBits cannot be denser than it), so the Test probes walk
+			// tiny id lists.
+			ids := ab.Ids()
+			cost += len(ids) * costSparseMember
+			for _, id := range ids {
+				i := int(id)
+				if !alive.Test(i) || (u != nil && u.Test(i)) {
+					continue
+				}
+				dead := true
+				for _, fb := range fh {
+					if fb.Test(i) {
+						dead = false
+						break
+					}
+				}
+				if dead {
+					alive.Clear(i)
+				}
+			}
+		} else if len(fh) == 0 {
+			cost += c.words * costWordOp
+			if u == nil {
+				emptied = ab.AndNotInto(alive)
+			} else if ud := u.Dense(); ud != nil {
+				// Dense eq union: fold it in directly, skipping the sat
+				// copy the general path pays.
+				emptied = alive.AndUnion(ud, ab.Dense())
+			} else {
+				u.CopyInto(sat)
+				emptied = alive.AndUnion(sat, ab.Dense())
+			}
+		} else {
+			if u != nil {
+				u.CopyInto(sat)
+			} else {
+				sat.ClearAll()
+			}
+			cost += c.words * costWordOp
+			for _, fb := range fh {
+				fb.OrInto(sat)
+				cost += c.words * costWordOp
+			}
+			cost += c.words * costWordOp
+			emptied = alive.AndUnion(sat, ab.Dense())
+		}
+		if emptied {
+			s.earlyExits++
+			if measure {
+				c.noteKills(h.local, before)
+			}
 			return dst, cost
 		}
 		for ei := range g.strict {
 			cost += costPredEval
 			if !s.predMatches(c.rev, &g.strict[ei], h.val) {
 				cost += c.words * costWordOp
-				if alive.AndNot(g.strict[ei].bits) {
+				if g.strict[ei].bits.AndNotInto(alive) {
+					s.earlyExits++
+					if measure {
+						c.noteKills(h.local, before)
+					}
 					return dst, cost
 				}
 			}
+		}
+		if measure {
+			c.noteKills(h.local, before-alive.Count())
 		}
 	}
 

@@ -76,6 +76,29 @@ func (e *Engine) attachMetrics(reg *metrics.Registry) {
 			_, _, u := e.cm.AdaptiveCounters()
 			return float64(u)
 		})
+		reg.GaugeFunc("apcm_posting_dense", "cluster postings compiled dense", func() float64 {
+			return float64(e.Stats().DensePostings)
+		})
+		reg.GaugeFunc("apcm_posting_sparse", "cluster postings compiled sparse (sorted id list)", func() float64 {
+			return float64(e.Stats().SparsePostings)
+		})
+		reg.GaugeFunc("apcm_posting_sparse_member_slots", "total member ids held by sparse postings", func() float64 {
+			return float64(e.Stats().SparseMemberSlots)
+		})
+		reg.GaugeFunc("apcm_posting_eq_flat_tables", "equality groups served by value-indexed flat tables", func() float64 {
+			return float64(e.Stats().EqFlatTables)
+		})
+		reg.GaugeFunc("apcm_posting_eq_flat_slots", "total value slots across flat equality tables", func() float64 {
+			return float64(e.Stats().EqFlatSlots)
+		})
+		reg.CounterFunc("apcm_group_order_sorts_total", "group loops evaluated in kill-rate order (flushed at batch end)", func() float64 {
+			s, _ := e.cm.OrderCounters()
+			return float64(s)
+		})
+		reg.CounterFunc("apcm_group_order_early_exit_total", "group loops exited early on an emptied survivor set (flushed at batch end)", func() float64 {
+			_, x := e.cm.OrderCounters()
+			return float64(x)
+		})
 	}
 	if e.cm != nil {
 		reg.CounterFunc("apcm_batch_memo_lookups_total", "cross-event predicate memo lookups", func() float64 {
