@@ -92,25 +92,25 @@ func (s *Server) attachMetrics() {
 	if reg == nil {
 		return
 	}
-	s.publishLat = reg.Histogram("broker_publish_latency_ns",
+	s.publishLat = reg.Histogram("apcm_broker_publish_latency_ns",
 		"publish handling latency: decode, match and fan-out enqueue")
-	reg.CounterFunc("broker_published_total", "events received from clients",
+	reg.CounterFunc("apcm_broker_published_total", "events received from clients",
 		func() float64 { return float64(s.published.Load()) })
-	reg.CounterFunc("broker_delivered_total", "match notifications enqueued to clients",
+	reg.CounterFunc("apcm_broker_delivered_total", "match notifications enqueued to clients",
 		func() float64 { return float64(s.delivered.Load()) })
-	reg.CounterFunc("broker_slow_consumer_drops_total", "connections dropped for stalling past SlowConsumerTimeout",
+	reg.CounterFunc("apcm_broker_slow_consumer_drops_total", "connections dropped for stalling past SlowConsumerTimeout",
 		func() float64 { return float64(s.slowDrops.Load()) })
-	reg.GaugeFunc("broker_connections", "currently connected clients", func() float64 {
+	reg.GaugeFunc("apcm_broker_connections", "currently connected clients", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return float64(len(s.conns))
 	})
-	reg.GaugeFunc("broker_subscriptions", "live broker-owned subscriptions", func() float64 {
+	reg.GaugeFunc("apcm_broker_subscriptions", "live broker-owned subscriptions", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return float64(len(s.subs))
 	})
-	reg.GaugeFunc("broker_outbox_depth", "frames queued across all client outboxes", func() float64 {
+	reg.GaugeFunc("apcm_broker_outbox_depth", "frames queued across all client outboxes", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		var n int

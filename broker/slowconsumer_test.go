@@ -138,8 +138,8 @@ func TestSlowConsumerDropped(t *testing.T) {
 	if got := s.SlowConsumerDrops(); got < 1 {
 		t.Fatalf("SlowConsumerDrops = %d, want >= 1", got)
 	}
-	if got := metricValue(t, reg, "broker_slow_consumer_drops_total"); got < 1 {
-		t.Fatalf("broker_slow_consumer_drops_total = %g, want >= 1", got)
+	if got := metricValue(t, reg, "apcm_broker_slow_consumer_drops_total"); got < 1 {
+		t.Fatalf("apcm_broker_slow_consumer_drops_total = %g, want >= 1", got)
 	}
 	// ...its reader observes the close...
 	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))

@@ -1,0 +1,108 @@
+// Command apcm-lint runs the repo's go/analysis suite (internal/lint):
+// hotpathalloc, scratchrelease, atomicfield, ablationconst, metricname.
+//
+// It is dual-mode:
+//
+//   - Invoked by the go command (`go vet -vettool=/path/to/apcm-lint`),
+//     it speaks the unitchecker protocol — the go command hands it one
+//     package at a time with pre-computed export data, so no network or
+//     go/packages dependency is needed.
+//
+//   - Invoked directly (`apcm-lint ./...` or `go run ./cmd/apcm-lint
+//     ./...`), it re-execs itself through `go vet -vettool=<self>` so
+//     the user gets whole-module analysis with one command. Flags
+//     understood in this mode: -json (machine-readable diagnostics, for
+//     the CI artifact) and -tags (build tags, forwarded to go vet —
+//     used by the seeded-violation smoke test).
+//
+// Exit status follows go vet: nonzero iff diagnostics were reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/streammatch/apcm/internal/lint"
+)
+
+func main() {
+	if invokedByGoVet(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers()...)
+		return
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// invokedByGoVet detects the unitchecker protocol: the go command
+// probes the tool with -V=full and -flags, then invokes it with a
+// single *.cfg argument per package.
+func invokedByGoVet(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-execs through `go vet -vettool=<self>` and returns the
+// exit code. Diagnostics stream through unmodified.
+func standalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apcm-lint: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	var pkgs []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-json" || a == "--json":
+			vetArgs = append(vetArgs, "-json")
+		case a == "-tags" || a == "--tags":
+			if i+1 < len(args) {
+				i++
+				vetArgs = append(vetArgs, "-tags", args[i])
+			}
+		case strings.HasPrefix(a, "-tags="), strings.HasPrefix(a, "--tags="):
+			vetArgs = append(vetArgs, "-tags", a[strings.Index(a, "=")+1:])
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return 0
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "apcm-lint: unknown flag %s\n", a)
+			usage()
+			return 2
+		default:
+			pkgs = append(pkgs, a)
+		}
+	}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	cmd := exec.Command("go", append(vetArgs, pkgs...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "apcm-lint: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: apcm-lint [-json] [-tags taglist] [packages]
+
+Runs the apcm analyzer suite over the given packages (default ./...).
+Also usable as a vettool: go vet -vettool=$(command -v apcm-lint) ./...
+`)
+}

@@ -1,3 +1,8 @@
 module github.com/streammatch/apcm
 
 go 1.22
+
+// Pinned to the exact x/tools revision vendored by the Go 1.24 toolchain
+// (src/cmd/vendor), from which vendor/golang.org/x/tools is populated, so
+// cmd/apcm-lint builds offline and reproducibly (no proxy access needed).
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

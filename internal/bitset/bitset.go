@@ -63,16 +63,22 @@ func (b *Bitset) Len() int { return b.n }
 func (b *Bitset) Words() []uint64 { return b.words }
 
 // Set sets bit i.
+//
+//apcm:hotpath
 func (b *Bitset) Set(i int) {
 	b.words[i>>wordShift] |= 1 << (uint(i) & wordMask)
 }
 
 // Clear clears bit i.
+//
+//apcm:hotpath
 func (b *Bitset) Clear(i int) {
 	b.words[i>>wordShift] &^= 1 << (uint(i) & wordMask)
 }
 
 // Test reports whether bit i is set.
+//
+//apcm:hotpath
 func (b *Bitset) Test(i int) bool {
 	return b.words[i>>wordShift]&(1<<(uint(i)&wordMask)) != 0
 }
@@ -101,6 +107,8 @@ func (b *Bitset) trim() {
 }
 
 // Count returns the number of set bits.
+//
+//apcm:hotpath
 func (b *Bitset) Count() int {
 	c := 0
 	w := b.words
@@ -122,6 +130,8 @@ func (b *Bitset) Count() int {
 }
 
 // None reports whether no bits are set.
+//
+//apcm:hotpath
 func (b *Bitset) None() bool {
 	for _, w := range b.words {
 		if w != 0 {
@@ -135,6 +145,8 @@ func (b *Bitset) None() bool {
 func (b *Bitset) Any() bool { return !b.None() }
 
 // And sets b = b AND other in place.
+//
+//apcm:hotpath
 func (b *Bitset) And(other *Bitset) {
 	bw := b.words
 	ow := other.words[:len(bw)]
@@ -146,6 +158,8 @@ func (b *Bitset) And(other *Bitset) {
 // AndNot sets b = b AND NOT other in place. This is the kernel of
 // compressed matching: killing every subscription that contains a failed
 // predicate. It returns true when b became empty, enabling early exit.
+//
+//apcm:hotpath
 func (b *Bitset) AndNot(other *Bitset) bool {
 	var a0, a1, a2, a3 uint64
 	bw := b.words
@@ -175,6 +189,8 @@ func (b *Bitset) AndNot(other *Bitset) bool {
 // if it is satisfied, or if the mask says the constraint does not apply
 // to it. This is the compressed kernel's per-attribute step. It returns
 // true when b became empty, enabling early exit.
+//
+//apcm:hotpath
 func (b *Bitset) AndUnion(sat, mask *Bitset) bool {
 	var a0, a1, a2, a3 uint64
 	bw := b.words
@@ -200,6 +216,8 @@ func (b *Bitset) AndUnion(sat, mask *Bitset) bool {
 }
 
 // Or sets b = b OR other in place.
+//
+//apcm:hotpath
 func (b *Bitset) Or(other *Bitset) {
 	bw := b.words
 	ow := other.words[:len(bw)]
@@ -219,6 +237,8 @@ func (b *Bitset) Xor(other *Bitset) {
 }
 
 // CopyFrom overwrites b with other. Capacities must match.
+//
+//apcm:hotpath
 func (b *Bitset) CopyFrom(other *Bitset) {
 	bw := b.words
 	ow := other.words[:len(bw)]
@@ -251,6 +271,8 @@ func (b *Bitset) Equal(other *Bitset) bool {
 // none exists. Use it for allocation-free iteration:
 //
 //	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) { ... }
+//
+//apcm:hotpath
 func (b *Bitset) NextSet(i int) int {
 	if i < 0 {
 		i = 0
@@ -272,6 +294,8 @@ func (b *Bitset) NextSet(i int) int {
 }
 
 // AppendSet appends the indexes of all set bits to dst and returns it.
+//
+//apcm:hotpath
 func (b *Bitset) AppendSet(dst []int) []int {
 	for wi, w := range b.words {
 		base := wi << wordShift

@@ -160,6 +160,8 @@ func (p *Posting) SetDense(b *Bitset) { p.b, p.ids = b, nil }
 func (p *Posting) SetSparse(ids []int32) { p.b, p.ids = nil, ids }
 
 // OrInto sets dst |= p. Sparse postings set only the listed bits.
+//
+//apcm:hotpath
 func (p *Posting) OrInto(dst *Bitset) {
 	if p.b != nil {
 		dst.Or(p.b)
@@ -172,6 +174,8 @@ func (p *Posting) OrInto(dst *Bitset) {
 }
 
 // CopyInto sets dst = p.
+//
+//apcm:hotpath
 func (p *Posting) CopyInto(dst *Bitset) {
 	if p.b != nil {
 		dst.CopyFrom(p.b)
@@ -186,6 +190,8 @@ func (p *Posting) CopyInto(dst *Bitset) {
 // signal), the sparse path clears only the listed members and
 // conservatively reports false — emptiness there would cost the full
 // sweep the sparse representation exists to avoid.
+//
+//apcm:hotpath
 func (p *Posting) AndNotInto(dst *Bitset) bool {
 	if p.b != nil {
 		return dst.AndNot(p.b)
@@ -201,6 +207,8 @@ func (p *Posting) AndNotInto(dst *Bitset) bool {
 // per-attribute step with p as the attribute mask. Emptiness reporting
 // follows AndNotInto: exact when dense, conservatively false when
 // sparse (only the listed members can die, so only they are visited).
+//
+//apcm:hotpath
 func (p *Posting) AndUnionInto(dst, sat *Bitset) bool {
 	if p.b != nil {
 		return dst.AndUnion(sat, p.b)
@@ -217,6 +225,8 @@ func (p *Posting) AndUnionInto(dst, sat *Bitset) bool {
 }
 
 // AppendSet appends the member ids in ascending order to dst.
+//
+//apcm:hotpath
 func (p *Posting) AppendSet(dst []int) []int {
 	if p.b != nil {
 		return p.b.AppendSet(dst)

@@ -64,6 +64,8 @@ func (t *predMemo) hash(rev, key uint64) int {
 
 // find probes for (rev, key). It returns the memoized result when
 // present; otherwise slot is the insertion point for put.
+//
+//apcm:hotpath
 func (t *predMemo) find(rev, key uint64) (res bool, ok bool, slot int) {
 	i := t.hash(rev, key)
 	mask := len(t.revs) - 1
@@ -81,6 +83,8 @@ func (t *predMemo) find(rev, key uint64) (res bool, ok bool, slot int) {
 // put inserts at the slot returned by find, growing first when the batch
 // has filled 3/4 of the table (the insert then re-probes, and earlier
 // entries are simply forgotten — the memo is best-effort).
+//
+//apcm:hotpath
 func (t *predMemo) put(slot int, rev, key uint64, res bool) {
 	if t.used*4 >= len(t.revs)*3 {
 		t.grow(len(t.revs) * 2)
@@ -103,6 +107,7 @@ type eligEntry struct {
 	any     bool
 }
 
+//apcm:hotpath
 func (e *eligEntry) matches(present []uint64) bool {
 	if len(e.present) != len(present) {
 		return false
@@ -115,6 +120,7 @@ func (e *eligEntry) matches(present []uint64) bool {
 	return true
 }
 
+//apcm:hotpath
 func (e *eligEntry) store(present, words []uint64, any bool) {
 	e.present = append(e.present[:0], present...)
 	e.words = append(e.words[:0], words...)
@@ -211,6 +217,7 @@ func (t *valueTable) ensure(e *expr.Event) bool {
 	return true
 }
 
+//apcm:hotpath
 func (t *valueTable) lookup(a expr.AttrID) (expr.Value, bool) {
 	i := int(a)
 	if i < len(t.stamp) && t.stamp[i] == t.epoch {

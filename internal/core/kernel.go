@@ -117,6 +117,8 @@ func (s *kernelScratch) get(n int) *buffers {
 // event value, going through the per-batch memo when armed. The memo key
 // is (cluster revision, entry sequence, value): revisions change on every
 // cluster mutation, so a hit can never be stale.
+//
+//apcm:hotpath
 func (s *kernelScratch) predMatches(rev uint64, e *dictEntry, val expr.Value) bool {
 	if !s.memoOn {
 		return e.pred.Matches(val)
@@ -153,6 +155,8 @@ func (s *kernelScratch) predMatches(rev uint64, e *dictEntry, val expr.Value) bo
 //     order exists to make that happen in as few groups as possible.
 //
 // Returns the appended dst and the work units spent.
+//
+//apcm:hotpath
 func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
 	return c.matchHybrid(s, e, dst, false)
 }
@@ -161,6 +165,8 @@ func (c *compiled) matchCompressed(s *kernelScratch, e *expr.Event, dst []expr.I
 // adaptive probes pass measure=true, which counts the members each
 // present group actually killed and folds them into the groupKill EWMAs.
 // The popcounts are paid only on probe events.
+//
+//apcm:hotpath
 func (c *compiled) matchHybrid(s *kernelScratch, e *expr.Event, dst []expr.ID, measure bool) ([]expr.ID, int) {
 	bufs := s.get(c.capN)
 	alive, sat := bufs.alive, bufs.sat
@@ -467,6 +473,8 @@ func (c *compiled) matchHybrid(s *kernelScratch, e *expr.Event, dst []expr.ID, m
 // dense value table (stamped array indexing) instead of scanning the
 // event's pair list per predicate. Returns the appended dst and the work
 // units spent.
+//
+//apcm:hotpath
 func scanPool(s *kernelScratch, exprs []*expr.Expression, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
 	cost := 0
 	vt := &s.vt
@@ -494,6 +502,8 @@ func scanPool(s *kernelScratch, exprs []*expr.Expression, e *expr.Event, dst []e
 
 // scanPoolSlow is the fallback for events whose attribute ids exceed the
 // dense-table bound; it resolves attributes against the event directly.
+//
+//apcm:hotpath
 func scanPoolSlow(exprs []*expr.Expression, e *expr.Event, dst []expr.ID) ([]expr.ID, int) {
 	cost := 0
 	for _, x := range exprs {

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AtomicField flags mixed atomic/plain access: any variable or struct
+// field that is ever passed by address to a sync/atomic free function
+// (atomic.AddInt64(&x, ...), atomic.LoadUint32(&s.f), ...) must be
+// accessed through sync/atomic everywhere in the package. A plain read
+// races with the atomic writers; a plain write tears the atomic
+// readers. The engine's own counters migrated to typed atomics
+// (atomic.Int64 etc.) for exactly this reason — the analyzer keeps the
+// legacy free-function form from silently reappearing half-converted.
+//
+// The check is package-local and two-pass: first collect every object
+// whose address reaches sync/atomic, then flag every other appearance
+// of those objects that is not itself under a sync/atomic call or an
+// unsafe.Pointer/address-of handoff. Test files are included: a racy
+// test is still racy.
+var AtomicField = &analysis.Analyzer{
+	Name:     "atomicfield",
+	Doc:      "flag plain reads/writes of variables also accessed via sync/atomic",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAtomicField,
+}
+
+func runAtomicField(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: objects whose address is taken inside a sync/atomic call,
+	// keyed by the variable object; for fields that is the field object,
+	// shared across all instances (conservative and intentional: the
+	// field either is an atomic slot or it is not).
+	atomicObjs := make(map[types.Object]token.Pos)
+	// Every identifier position that appears inside some sync/atomic
+	// call's arguments — those uses are the sanctioned ones.
+	sanctioned := make(map[token.Pos]bool)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isSyncAtomicCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					sanctioned[id.Pos()] = true
+				}
+				return true
+			})
+			ua, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || ua.Op != token.AND {
+				continue
+			}
+			if obj := addressedObject(pass, ua.X); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = ua.Pos()
+				}
+			}
+		}
+	})
+	if len(atomicObjs) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other use of those objects is a mixed access, except
+	// address-of expressions (handing the slot to another atomic caller)
+	// and declarations.
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		id := n.(*ast.Ident)
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		first, tracked := atomicObjs[obj]
+		if !tracked || sanctioned[id.Pos()] {
+			return true
+		}
+		// The interesting expression is the selector (s.f) if the ident
+		// is a field name; otherwise the ident itself.
+		idx := len(stack) - 1
+		if idx > 0 {
+			if sel, ok := stack[idx-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+				idx--
+			}
+		}
+		// &x handed onward is fine — it ends at some atomic call.
+		if idx > 0 {
+			if ua, ok := stack[idx-1].(*ast.UnaryExpr); ok && ua.Op == token.AND {
+				return true
+			}
+		}
+		pass.Reportf(id.Pos(),
+			"plain access of %s, which is accessed atomically at %s (use sync/atomic everywhere or a typed atomic)",
+			obj.Name(), pass.Fset.Position(first))
+		return true
+	})
+	return nil, nil
+}
+
+// isSyncAtomicCall reports whether call invokes a free function of the
+// sync/atomic package.
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr to the variable or field object being
+// addressed: x → var x, s.f → field f, a[i] stays untracked (index
+// cannot be matched across uses soundly).
+func addressedObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.ObjectOf(e.Sel).(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Package lint holds apcm's repo-specific go/analysis analyzers: the
+// engine's performance and correctness invariants that no compiler
+// checks, encoded once and enforced mechanically on every build (CI runs
+// the suite as a required step; see cmd/apcm-lint).
+//
+// The suite machine-checks the rules the hot path rests on:
+//
+//   - hotpathalloc: functions annotated //apcm:hotpath must stay free of
+//     constructs that heap-allocate or defeat inlining — closures, defer,
+//     address-taken composite literals, new(), interface conversions,
+//     map iteration, and appends to slices that provably start at
+//     capacity zero.
+//   - scratchrelease: every scratch/pool acquire (Engine.getScratch,
+//     sync.Pool Get) must be released on all return paths — the class of
+//     bug fixed in PR 3 (group-order counters never flushed because a
+//     scratch release path was missed).
+//   - atomicfield: a variable or field accessed through sync/atomic
+//     free functions must never also be read or written plainly.
+//   - ablationconst: the Disable* ablation switches may be read at
+//     compile/arming sites only — never in //apcm:hotpath functions and
+//     never inside loops.
+//   - metricname: metric registrations use literal, unique,
+//     apcm_-prefixed snake_case names, outside hot paths.
+//
+// Annotation convention: a directive comment in the doc block of a
+// function, e.g.
+//
+//	// matchHybrid runs the compressed kernel.
+//	//
+//	//apcm:hotpath
+//	func (c *compiled) matchHybrid(...) ...
+//
+// Directives are ordinary line comments with no space after the slashes,
+// so go doc hides them, exactly like //go:noinline.
+//
+// Run the suite with `make lint`, `go run ./cmd/apcm-lint ./...`, or
+// `go vet -vettool=$(which apcm-lint) ./...`. See DESIGN.md §7.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full apcm-lint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAlloc,
+		ScratchRelease,
+		AtomicField,
+		AblationConst,
+		MetricName,
+	}
+}
+
+// directive names recognised in function doc comments.
+const (
+	dirHotPath = "apcm:hotpath"
+)
+
+// hasDirective reports whether doc contains the //name directive (no
+// space after the slashes, like //go: directives).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether pos lies in a _test.go file. Analyzers that
+// encode production-only conventions (metric naming, ablation reads)
+// skip test files.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
+}

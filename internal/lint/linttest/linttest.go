@@ -1,0 +1,226 @@
+// Package linttest is a miniature analysistest: it type-checks a
+// fixture package under testdata/src/<name>, runs one analyzer (and its
+// Requires closure), and matches the diagnostics against `// want
+// "regexp"` comments in the fixtures.
+//
+// The real golang.org/x/tools/go/analysis/analysistest depends on
+// go/packages, which cannot be vendored from the toolchain's GOROOT
+// copy (it needs the go list driver and module resolution). This
+// harness covers what the apcm-lint fixtures need instead: fixtures
+// import only the standard library, so the go/importer source importer
+// resolves everything offline.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the fixture package in dir with a and asserts that the
+// diagnostics exactly match the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	r := &runner{
+		fset:    fset,
+		files:   files,
+		pkg:     pkg,
+		info:    info,
+		results: make(map[*analysis.Analyzer]interface{}),
+		facts:   make(map[factKey]analysis.Fact),
+	}
+	diags, err := r.run(a, true)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, dir, diags)
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type runner struct {
+	fset    *token.FileSet
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	results map[*analysis.Analyzer]interface{}
+	facts   map[factKey]analysis.Fact
+}
+
+// run executes a (dependencies first) and returns the diagnostics of
+// the top-level analyzer only.
+func (r *runner) run(a *analysis.Analyzer, top bool) ([]analysis.Diagnostic, error) {
+	if _, done := r.results[a]; done && !top {
+		return nil, nil
+	}
+	for _, dep := range a.Requires {
+		if _, err := r.run(dep, false); err != nil {
+			return nil, fmt.Errorf("%s: %w", dep.Name, err)
+		}
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       r.fset,
+		Files:      r.files,
+		Pkg:        r.pkg,
+		TypesInfo:  r.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   r.results,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+			v, ok := r.facts[factKey{obj, reflect.TypeOf(f)}]
+			if ok {
+				reflect.ValueOf(f).Elem().Set(reflect.ValueOf(v).Elem())
+			}
+			return ok
+		},
+		ExportObjectFact: func(obj types.Object, f analysis.Fact) {
+			r.facts[factKey{obj, reflect.TypeOf(f)}] = f
+		},
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	r.results[a] = res
+	return diags, nil
+}
+
+// wantRE extracts the quoted or backquoted regexps after "// want".
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants matches diagnostics against // want comments: every
+// diagnostic needs a matching expectation on its line, and every
+// expectation must be consumed.
+func checkWants(t *testing.T, fset *token.FileSet, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, found := strings.Cut(line, "// want ")
+			if !found {
+				continue
+			}
+			for _, tok := range wantRE.FindAllString(after, -1) {
+				pat := tok
+				if pat[0] == '"' {
+					var err error
+					pat, err = strconv.Unquote(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", path, i+1, tok, err)
+					}
+				} else {
+					pat = pat[1 : len(pat)-1]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				k := key{path, i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+
+	var missed []string
+	for k, res := range wants {
+		for _, re := range res {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

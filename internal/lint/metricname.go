@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MetricName checks every metric registration against the exposition
+// contract the dashboards and the exposition test rely on:
+//
+//   - the name argument is a string literal, a string constant, or a
+//     fmt.Sprintf with a literal format (dynamic names cannot be
+//     audited and defeat the duplicate check);
+//   - the base name — the part before any {label="..."} block — is
+//     apcm_-prefixed snake_case: ^apcm_[a-z0-9_]+$;
+//   - no base name is registered twice in a package with the same
+//     label set (double registration either panics or silently splits a
+//     series, depending on backend);
+//   - registration never happens inside an //apcm:hotpath function —
+//     registries take locks and allocate; register at construction.
+//
+// Registration calls are matched by method name on any type named
+// Registry (Counter, Gauge, Histogram, HistogramShaped, GaugeFunc,
+// CounterFunc) so fixtures need not import the engine's metrics
+// package. Test files are exempt: tests register scratch metrics under
+// arbitrary names.
+var MetricName = &analysis.Analyzer{
+	Name:     "metricname",
+	Doc:      "require unique, literal, apcm_-prefixed snake_case metric names registered off the hot path",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMetricName,
+}
+
+var registryMethods = map[string]bool{
+	"Counter":         true,
+	"Gauge":           true,
+	"Histogram":       true,
+	"HistogramShaped": true,
+	"GaugeFunc":       true,
+	"CounterFunc":     true,
+}
+
+var metricBaseRE = regexp.MustCompile(`^apcm_[a-z0-9_]+$`)
+
+func runMetricName(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// Full literal name → first registration position, per package.
+	seen := make(map[string]token.Pos)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if !isRegistryCall(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		if isTestFile(pass.Fset, call.Pos()) {
+			return true
+		}
+		if fn := enclosingHotPath(stack); fn != "" {
+			pass.Reportf(call.Pos(),
+				"metric registered in hot-path function %s; registries lock and allocate — register at construction", fn)
+		}
+		name, literal := literalMetricName(pass, call.Args[0])
+		if !literal {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name is not a literal (or Sprintf of a literal format); dynamic names defeat auditing")
+			return true
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !metricBaseRE.MatchString(base) {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric base name %q must be apcm_-prefixed snake_case (%s)", base, metricBaseRE)
+		}
+		// Duplicate check only for fully-literal names: a Sprintf name
+		// varies by its arguments, so identical formats are fine.
+		if !strings.Contains(name, "%") {
+			if first, dup := seen[name]; dup {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric %q already registered at %s", name, pass.Fset.Position(first))
+			} else {
+				seen[name] = call.Args[0].Pos()
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isRegistryCall reports whether call is a registration method on a
+// value whose (possibly pointer) type is named Registry.
+func isRegistryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// literalMetricName resolves arg to a compile-time-known name. For
+// fmt.Sprintf calls it returns the literal format string (still usable
+// for prefix/case checks: verbs sit inside label values, e.g.
+// "apcm_pool_worker_items{worker=%q}").
+func literalMetricName(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(arg)]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" {
+		return "", false
+	}
+	if pkgID, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+			return "", false
+		}
+	} else {
+		return "", false
+	}
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Args[0])]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+// enclosingHotPath returns the name of the nearest enclosing
+// //apcm:hotpath function, or "".
+func enclosingHotPath(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			if hasDirective(fd.Doc, dirHotPath) {
+				return fd.Name.Name
+			}
+			return ""
+		}
+	}
+	return ""
+}

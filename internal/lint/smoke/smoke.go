@@ -1,0 +1,76 @@
+//go:build apcmlint_smoke
+
+// Package smoke exists to prove the lint gate fires: it seeds exactly
+// one violation per analyzer behind the apcmlint_smoke build tag, so
+// normal builds and tests never see it, while
+//
+//	go run ./cmd/apcm-lint -tags apcmlint_smoke ./internal/lint/smoke
+//
+// must exit nonzero with five diagnostics. CI runs that as a required
+// step (see .github/workflows/ci.yml): a lint gate that cannot fail is
+// indistinguishable from no gate.
+package smoke
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type thing struct{ n int64 }
+
+// scratch is distinct from thing so the scratchrelease seed's plain
+// field reads do not also trip atomicfield (which tracks thing.n).
+type scratch struct{ n int }
+
+var pool sync.Pool
+
+// Registry mimics the metrics registry by name, which is how the
+// metricname analyzer matches registration calls.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) {}
+
+type config struct{ DisableFlatEq bool }
+
+// hotDefer seeds a hotpathalloc violation: defer in a hot path.
+//
+//apcm:hotpath
+func hotDefer(f func()) {
+	defer f()
+}
+
+// leakScratch seeds a scratchrelease violation: the early return path
+// never puts t back.
+func leakScratch(cond bool) int {
+	t := pool.Get().(*scratch)
+	if cond {
+		return 0
+	}
+	pool.Put(t)
+	return t.n
+}
+
+// mixedAccess seeds an atomicfield violation: t.n is incremented
+// atomically but read plainly.
+func mixedAccess(t *thing) int64 {
+	atomic.AddInt64(&t.n, 1)
+	return t.n
+}
+
+// loopSwitch seeds an ablationconst violation: an ablation switch
+// consulted per iteration instead of at arming time.
+func loopSwitch(cfg *config, events []int) int {
+	n := 0
+	for range events {
+		if cfg.DisableFlatEq {
+			n++
+		}
+	}
+	return n
+}
+
+// badMetric seeds a metricname violation: a registration without the
+// apcm_ prefix.
+func badMetric(r *Registry) {
+	r.Counter("smoke_bad_total", "not apcm_-prefixed")
+}

@@ -1,0 +1,30 @@
+// Fixture for the atomicfield analyzer: fields and package variables
+// that mix sync/atomic and plain access.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	cold int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) load() int64 { return atomic.LoadInt64(&c.n) }
+
+func (c *counter) racyRead() int64 { return c.n } // want `plain access of n`
+
+func (c *counter) racyWrite() { c.n = 0 } // want `plain access of n`
+
+// cold is never touched atomically; plain access is fine.
+func (c *counter) coldRead() int64 { return c.cold }
+
+var gen uint32
+
+func bump() { atomic.AddUint32(&gen, 1) }
+
+func racyGen() uint32 { return gen } // want `plain access of gen`
+
+// Handing the address onward is sanctioned — it ends at an atomic call.
+func handoff(f func(*uint32)) { f(&gen) }

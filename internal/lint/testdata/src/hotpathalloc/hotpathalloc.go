@@ -1,0 +1,70 @@
+// Fixture for the hotpathalloc analyzer: every allocating construct it
+// rejects, plus the shapes it must accept.
+package hotpathalloc
+
+type point struct{ x, y int }
+
+var sink interface{}
+
+func takesIface(v interface{}) { sink = v }
+
+func cleanup() {}
+
+//apcm:hotpath
+func hotClosures(xs []int) {
+	f := func() {} // want `closure in hot-path function hotClosures`
+	_ = f
+}
+
+//apcm:hotpath
+func hotDefer() {
+	defer cleanup() // want `defer in hot-path function hotDefer`
+}
+
+//apcm:hotpath
+func hotMapRange(m map[int]int) int {
+	n := 0
+	for k := range m { // want `map iteration in hot-path function hotMapRange`
+		n += k
+	}
+	return n
+}
+
+//apcm:hotpath
+func hotEscapes() {
+	p := &point{1, 2} // want `address-taken composite literal escapes`
+	q := new(point)   // want `new\(\) in hot-path function hotEscapes`
+	_, _ = p, q
+}
+
+//apcm:hotpath
+func hotIfaceConv(v int) interface{} {
+	sink = v      // want `interface conversion boxes int`
+	takesIface(v) // want `interface conversion boxes int`
+	return v      // want `interface conversion boxes int`
+}
+
+//apcm:hotpath
+func hotAppend(dst []int, n int) []int {
+	var bad []int
+	bad = append(bad, n) // want `append to un-presized slice bad`
+	pre := make([]int, 0, n)
+	pre = append(pre, n)   // presized: ok
+	dst = append(dst, n)   // parameter: caller capacity, ok
+	tail := dst[:0]        //
+	tail = append(tail, n) // reslice: ok
+	_, _ = bad, pre
+	return tail
+}
+
+// Unannotated functions may do all of the above freely.
+func coldEverything(m map[int]int) interface{} {
+	defer cleanup()
+	var xs []int
+	for k := range m {
+		xs = append(xs, k)
+	}
+	f := func() *point { return &point{} }
+	takesIface(xs)
+	return f()
+}

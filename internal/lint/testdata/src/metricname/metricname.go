@@ -1,0 +1,38 @@
+// Fixture for the metricname analyzer: naming, literalness, duplicate
+// and hot-path registration rules.
+package metricname
+
+import "fmt"
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string)                         {}
+func (r *Registry) Gauge(name, help string)                           {}
+func (r *Registry) Histogram(name, help string)                       {}
+func (r *Registry) GaugeFunc(name, help string, f func() float64)     {}
+func (r *Registry) CounterFunc(name, help string, f func() float64)   {}
+func (r *Registry) HistogramShaped(name, help string, cuts []float64) {}
+
+const constName = "apcm_const_named_total"
+
+func setup(r *Registry) {
+	r.Counter("apcm_events_total", "ok")
+	r.Counter(constName, "string constants are literal enough")
+	r.Gauge("events_gauge", "x")          // want `metric base name "events_gauge" must be apcm_-prefixed`
+	r.Counter("apcm_BadCase", "x")        // want `metric base name "apcm_BadCase" must be apcm_-prefixed`
+	r.Counter("apcm_events_total", "dup") // want `metric "apcm_events_total" already registered`
+	r.Histogram("apcm_latency_ns{stage=\"match\"}", "labels ride on a checked base name")
+
+	name := pick()
+	r.Counter(name, "x") // want `metric name is not a literal`
+
+	r.GaugeFunc(fmt.Sprintf("apcm_worker_items{worker=%q}", "0"), "ok", nil)
+	r.GaugeFunc(fmt.Sprintf("%s_items", pick()), "x", nil) // want `metric base name "%s_items" must be apcm_-prefixed`
+}
+
+func pick() string { return "apcm_dynamic" }
+
+//apcm:hotpath
+func hotRegister(r *Registry) {
+	r.Counter("apcm_hot_total", "x") // want `metric registered in hot-path function hotRegister`
+}

@@ -159,11 +159,11 @@ func (e *Engine) attachMetrics(reg *metrics.Registry) {
 		lanes := e.pool.Workers() + 1
 		for w := 0; w < lanes; w++ {
 			w := w
-			name := fmt.Sprintf("apcm_pool_worker_items{worker=%q}", fmt.Sprint(w))
-			help := "task items executed per worker lane (last lane = inline callers)"
-			reg.GaugeFunc(name, help, func() float64 {
-				return float64(e.pool.Stats().WorkerItems[w])
-			})
+			reg.GaugeFunc(fmt.Sprintf("apcm_pool_worker_items{worker=%q}", fmt.Sprint(w)),
+				"task items executed per worker lane (last lane = inline callers)",
+				func() float64 {
+					return float64(e.pool.Stats().WorkerItems[w])
+				})
 		}
 	}
 }
