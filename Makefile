@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json lint-smoke bench-smoke clean
+.PHONY: all build test race fault lint lint-json lint-smoke bench-smoke clean
 
 all: build lint test
 
@@ -18,6 +18,14 @@ test:
 
 race:
 	$(GO) test -race -timeout 20m . ./broker/ ./metrics/ ./internal/sched/ ./internal/osr/ ./internal/core/
+
+# The fault-injection suite (broker restart/partition/slow-link/reset
+# scenarios over internal/faultnet) under the race detector. Scenarios
+# are seeded and deterministic; the seed in use is always logged, and
+# APCM_FAULT_SEED replays a specific schedule:
+#   APCM_FAULT_SEED=42 make fault
+fault:
+	$(GO) test -race -timeout 10m -count=1 ./broker/ ./internal/faultnet/
 
 # The apcm analyzer suite (internal/lint) over the whole module.
 # Equivalent invocations:

@@ -31,6 +31,22 @@ func startServer(t *testing.T) (*Server, string) {
 	return s, ln.Addr().String()
 }
 
+// rawHello performs the client side of the version handshake on a raw
+// connection: sends hello, consumes the server's hello reply.
+func rawHello(t *testing.T, nc net.Conn) {
+	t.Helper()
+	if err := writeFrame(nc, helloFrame()); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := readFrame(nc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != 2 || reply[0] != msgHello || reply[1] != ProtocolVersion {
+		t.Fatalf("server hello = %v", reply)
+	}
+}
+
 // recvEvent waits for one event on ch.
 func recvEvent(t *testing.T, ch <-chan *expr.Event) *expr.Event {
 	t.Helper()
@@ -202,6 +218,7 @@ func TestMalformedFramesDropConnection(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer nc.Close()
+			rawHello(t, nc)
 			if err := writeFrame(nc, tc.frame); err != nil {
 				t.Fatal(err)
 			}

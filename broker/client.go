@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/streammatch/apcm/expr"
 )
@@ -13,14 +15,52 @@ import (
 // client's read loop: keep them short or hand off to a channel.
 type Handler func(ev *expr.Event)
 
+// ClientOptions tunes a single connection's liveness behaviour. The
+// zero value uses the defaults documented on each field.
+type ClientOptions struct {
+	// PingInterval is the keepalive cadence: the client sends an 'H'
+	// ping this often so the server's idle reaper sees it alive even
+	// when no application traffic flows. Defaults to 2s (well inside
+	// the server's default 15s reap deadline); negative disables pings
+	// and liveness detection.
+	PingInterval time.Duration
+	// PongTimeout fails the connection when nothing at all (pong, ack
+	// or match) has been read for this long, so a blackholed link is
+	// detected instead of blocking forever. Defaults to 3×PingInterval.
+	PongTimeout time.Duration
+	// WriteTimeout bounds each frame write. Defaults to 10s; negative
+	// disables.
+	WriteTimeout time.Duration
+}
+
+func (o *ClientOptions) fillDefaults() {
+	if o.PingInterval == 0 {
+		o.PingInterval = 2 * time.Second
+	}
+	if o.PongTimeout == 0 {
+		o.PongTimeout = 3 * o.PingInterval
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+}
+
 // Client is a broker connection. Safe for concurrent use; Subscribe and
 // Unsubscribe are serialised (one outstanding acknowledged request at a
-// time), Publish is fire-and-forget.
+// time), Publish is fire-and-forget. A Client does not reconnect: once
+// its connection fails it stays failed (Err reports why). For sessions
+// that survive broker restarts, use DialSession.
 type Client struct {
-	nc net.Conn
+	nc   net.Conn
+	opts ClientOptions
 
 	writeMu sync.Mutex // frame writes
 	reqMu   sync.Mutex // one outstanding ack'd request
+
+	// lastRead is the UnixNano timestamp of the most recent frame from
+	// the server; the ping loop fails the connection when it goes stale
+	// past PongTimeout.
+	lastRead atomic.Int64
 
 	mu       sync.Mutex
 	handlers map[uint64]Handler
@@ -44,20 +84,64 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(nc), nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection with default options.
 func NewClient(nc net.Conn) *Client {
+	return NewClientOpts(nc, ClientOptions{})
+}
+
+// NewClientOpts wraps an established connection. It sends the protocol
+// hello immediately; the server's answer is verified asynchronously by
+// the read loop, and a version mismatch fails the connection (visible
+// to the first request and through Err).
+func NewClientOpts(nc net.Conn, opts ClientOptions) *Client {
+	opts.fillDefaults()
 	c := &Client{
 		nc:       nc,
+		opts:     opts,
 		handlers: make(map[uint64]Handler),
 		acks:     make(chan ackResult, 1),
 		done:     make(chan struct{}),
 	}
+	c.lastRead.Store(time.Now().UnixNano())
+	if err := c.write(helloFrame()); err != nil {
+		c.fail(fmt.Errorf("broker: hello: %w", err))
+	}
 	go c.readLoop()
+	if opts.PingInterval > 0 {
+		go c.pingLoop()
+	}
 	return c
 }
 
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("broker: client closed")
+
+// ErrHeartbeatTimeout is the terminal error of a connection that went
+// silent: nothing was read from the server within PongTimeout.
+var ErrHeartbeatTimeout = errors.New("broker: heartbeat timeout")
+
+func (c *Client) pingLoop() {
+	t := time.NewTicker(c.opts.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			idle := time.Since(time.Unix(0, c.lastRead.Load()))
+			if idle > c.opts.PongTimeout {
+				c.fail(fmt.Errorf("%w: nothing read for %v", ErrHeartbeatTimeout, idle.Round(time.Millisecond)))
+				return
+			}
+			if err := c.write([]byte{msgPing}); err != nil {
+				if !errors.Is(err, ErrClientClosed) {
+					c.fail(fmt.Errorf("broker: ping: %w", err))
+				}
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
 
 func (c *Client) readLoop() {
 	var buf []byte
@@ -68,7 +152,15 @@ func (c *Client) readLoop() {
 			return
 		}
 		buf = frame
+		c.lastRead.Store(time.Now().UnixNano())
 		switch frame[0] {
+		case msgHello:
+			if len(frame) != 2 || frame[1] != ProtocolVersion {
+				c.fail(fmt.Errorf("broker: server hello %v, want version %d", frame[1:], ProtocolVersion))
+				return
+			}
+		case msgPong:
+			// lastRead already refreshed; nothing else to do.
 		case msgAck:
 			id, _, err := readUvarint(frame[1:])
 			if err != nil {
@@ -157,10 +249,17 @@ func (c *Client) write(frame []byte) error {
 	c.mu.Unlock()
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if c.opts.WriteTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
 	return writeFrame(c.nc, frame)
 }
 
-// request sends a frame and waits for its acknowledgement.
+// request sends a frame and waits for its acknowledgement. An
+// acknowledgement for any other id means client and server disagree
+// about which request is outstanding — every later ack would be
+// attributed to the wrong request — so the connection is failed rather
+// than left permanently desynchronized.
 func (c *Client) request(frame []byte, wantID uint64) error {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
@@ -170,7 +269,9 @@ func (c *Client) request(frame []byte, wantID uint64) error {
 	select {
 	case r := <-c.acks:
 		if r.id != wantID {
-			return fmt.Errorf("broker: acknowledgement for %d, expected %d", r.id, wantID)
+			err := fmt.Errorf("broker: acknowledgement for %d, expected %d: ack stream desynchronized", r.id, wantID)
+			c.fail(err)
+			return err
 		}
 		return r.err
 	case <-c.done:
@@ -220,6 +321,15 @@ func (c *Client) Publish(ev *expr.Event) error {
 	return c.write(expr.AppendEvent([]byte{msgPublish}, ev))
 }
 
+// hasHandler reports whether a subscription id is registered on this
+// client (used by Session replay to skip already-installed entries).
+func (c *Client) hasHandler(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.handlers[id]
+	return ok
+}
+
 // Err returns the terminal read-loop error, if the connection has
 // failed.
 func (c *Client) Err() error {
@@ -227,6 +337,10 @@ func (c *Client) Err() error {
 	defer c.mu.Unlock()
 	return c.readErr
 }
+
+// Done returns a channel closed when the connection has failed or been
+// closed; Err reports why.
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 // Close terminates the connection. Blocked requests are released.
 func (c *Client) Close() error {

@@ -8,12 +8,30 @@
 // payload, at most MaxFrame bytes). The first payload byte is the
 // message type:
 //
+//	'V' hello        both ways      one version byte (see below)
 //	'S' subscribe    client→server  expression (client-scoped id)
 //	'U' unsubscribe  client→server  uvarint id
 //	'P' publish      client→server  event
+//	'H' ping         client→server  empty (keepalive probe)
+//	'h' pong         server→client  empty (keepalive answer)
 //	'A' ack          server→client  uvarint id (subscribe/unsubscribe ok)
 //	'E' error        server→client  uvarint id, utf-8 message
 //	'M' match        server→client  uvarint n, n×uvarint ids, event
+//
+// A connection opens with a version handshake: the client's first frame
+// must be a hello carrying ProtocolVersion, and the server answers with
+// a hello carrying its own version before any other frame. A first
+// frame that is not a hello, or a version the server does not speak,
+// terminates the connection (after a best-effort 'E' frame naming the
+// mismatch), so incompatible peers fail fast instead of desynchronizing
+// mid-stream.
+//
+// Liveness is client-driven: clients send 'H' pings on an interval and
+// the server answers 'h'. The server reads under a deadline sized to
+// several missed heartbeats and reaps connections that stay silent;
+// clients fail the connection when nothing (pong or any other frame)
+// arrives within their pong timeout. See Server.HeartbeatInterval and
+// ClientOptions.
 //
 // Subscribe and unsubscribe are acknowledged (one outstanding request
 // per connection); publish is fire-and-forget.
@@ -29,15 +47,26 @@ import (
 // abuse and terminate the connection.
 const MaxFrame = 1 << 20
 
+// ProtocolVersion is the wire-protocol revision carried in the hello
+// handshake. Version 1 introduced the handshake itself and the
+// ping/pong keepalive frames.
+const ProtocolVersion = 1
+
 // Message type bytes.
 const (
+	msgHello       = 'V'
 	msgSubscribe   = 'S'
 	msgUnsubscribe = 'U'
 	msgPublish     = 'P'
+	msgPing        = 'H'
+	msgPong        = 'h'
 	msgAck         = 'A'
 	msgErr         = 'E'
 	msgMatch       = 'M'
 )
+
+// helloFrame is the two-byte hello payload both sides send.
+func helloFrame() []byte { return []byte{msgHello, ProtocolVersion} }
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {

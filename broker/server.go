@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -15,7 +16,7 @@ import (
 )
 
 // Server fronts an Engine over TCP. Create with NewServer, start with
-// Serve, stop with Close.
+// Serve, stop with Close (immediate) or Shutdown (graceful drain).
 type Server struct {
 	eng *apcm.Engine
 	// Logf receives connection-level diagnostics; defaults to log.Printf.
@@ -26,9 +27,22 @@ type Server struct {
 	// timeout, backpressure propagates to the publisher. Defaults to 2s;
 	// set before Serve.
 	SlowConsumerTimeout time.Duration
+	// HeartbeatInterval is the keepalive cadence the server assumes of
+	// its clients. A connection that stays completely silent for
+	// HeartbeatInterval × MissedHeartbeats is reaped as dead. Defaults
+	// to 5s; negative disables reaping. Set before Serve.
+	HeartbeatInterval time.Duration
+	// MissedHeartbeats is how many heartbeat intervals of silence the
+	// server tolerates before reaping a connection. Defaults to 3.
+	MissedHeartbeats int
+	// WriteTimeout bounds each frame write to a client socket, so a
+	// wedged peer (accepting TCP but never draining) can never pin a
+	// writer goroutine. Defaults to 10s; negative disables. Set before
+	// Serve.
+	WriteTimeout time.Duration
 	// Metrics, when non-nil, receives broker instrumentation
 	// (connections, outbox depth, slow-consumer drops, publish fan-out
-	// latency). Set before Serve.
+	// latency, heartbeat/drain counters). Set before Serve.
 	Metrics *metrics.Registry
 
 	mu     sync.RWMutex
@@ -37,11 +51,17 @@ type Server struct {
 	closed bool
 	ln     net.Listener
 
-	published  atomic.Int64
-	delivered  atomic.Int64
-	slowDrops  atomic.Int64
-	metOnce    sync.Once
-	publishLat *metrics.Histogram // nil without a registry (nil-safe)
+	draining          atomic.Bool
+	published         atomic.Int64
+	delivered         atomic.Int64
+	slowDrops         atomic.Int64
+	heartbeatTimeouts atomic.Int64
+	drainStarted      atomic.Int64
+	drainFlushed      atomic.Int64
+	drainExpired      atomic.Int64
+	drainRejects      atomic.Int64
+	metOnce           sync.Once
+	publishLat        *metrics.Histogram // nil without a registry (nil-safe)
 }
 
 type subscriber struct {
@@ -59,6 +79,14 @@ type conn struct {
 	outbox chan []byte
 	done   chan struct{}
 	closeO sync.Once
+	// hello flips after a valid version handshake; only the read loop
+	// touches it.
+	hello bool
+	// enqueued/written frame counts; their equality is the drain
+	// condition in Shutdown (an empty outbox alone would miss the frame
+	// the writer currently holds in flight).
+	enqueued atomic.Int64
+	written  atomic.Int64
 	// engine ids owned by this connection, keyed by client id.
 	mu       sync.Mutex
 	byClient map[uint64]expr.ID
@@ -84,6 +112,37 @@ func (s *Server) Stats() (published, delivered int64) {
 // stalling past SlowConsumerTimeout.
 func (s *Server) SlowConsumerDrops() int64 { return s.slowDrops.Load() }
 
+// HeartbeatTimeouts reports how many connections were reaped for
+// missing their heartbeat deadline.
+func (s *Server) HeartbeatTimeouts() int64 { return s.heartbeatTimeouts.Load() }
+
+// readDeadline is the per-frame read deadline: HeartbeatInterval ×
+// MissedHeartbeats, or 0 (no deadline) when reaping is disabled.
+func (s *Server) readDeadline() time.Duration {
+	iv := s.HeartbeatInterval
+	if iv < 0 {
+		return 0
+	}
+	if iv == 0 {
+		iv = 5 * time.Second
+	}
+	missed := s.MissedHeartbeats
+	if missed <= 0 {
+		missed = 3
+	}
+	return iv * time.Duration(missed)
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	switch {
+	case s.WriteTimeout < 0:
+		return 0
+	case s.WriteTimeout == 0:
+		return 10 * time.Second
+	}
+	return s.WriteTimeout
+}
+
 // attachMetrics registers the broker's instruments on s.Metrics. The
 // cumulative counts stay on the server's own atomics (Stats predates
 // the registry) and are exported as read-time functions.
@@ -100,6 +159,22 @@ func (s *Server) attachMetrics() {
 		func() float64 { return float64(s.delivered.Load()) })
 	reg.CounterFunc("apcm_broker_slow_consumer_drops_total", "connections dropped for stalling past SlowConsumerTimeout",
 		func() float64 { return float64(s.slowDrops.Load()) })
+	reg.CounterFunc("apcm_broker_heartbeat_timeouts_total", "connections reaped for missing their heartbeat deadline",
+		func() float64 { return float64(s.heartbeatTimeouts.Load()) })
+	reg.CounterFunc("apcm_broker_drain_started_total", "graceful Shutdown drains begun",
+		func() float64 { return float64(s.drainStarted.Load()) })
+	reg.CounterFunc("apcm_broker_drain_flushed_total", "drains that flushed every outbox before closing",
+		func() float64 { return float64(s.drainFlushed.Load()) })
+	reg.CounterFunc("apcm_broker_drain_expired_total", "drains cut short by the Shutdown context deadline",
+		func() float64 { return float64(s.drainExpired.Load()) })
+	reg.CounterFunc("apcm_broker_drain_rejected_total", "subscribe/unsubscribe requests nacked while draining",
+		func() float64 { return float64(s.drainRejects.Load()) })
+	reg.GaugeFunc("apcm_broker_draining", "1 while a graceful drain is in progress", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("apcm_broker_connections", "currently connected clients", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
@@ -121,8 +196,8 @@ func (s *Server) attachMetrics() {
 	})
 }
 
-// Serve accepts connections on ln until Close. It returns nil after
-// Close, or the listener error otherwise.
+// Serve accepts connections on ln until Close or Shutdown. It returns
+// nil after either, or the listener error otherwise.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -138,7 +213,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.mu.RLock()
 			closed := s.closed
 			s.mu.RUnlock()
-			if closed {
+			if closed || s.draining.Load() {
 				return nil
 			}
 			return err
@@ -164,7 +239,8 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Close stops accepting, drops every connection and unregisters their
-// subscriptions.
+// subscriptions. Queued match notifications are discarded; use Shutdown
+// to flush them first.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -186,30 +262,92 @@ func (s *Server) Close() {
 	}
 }
 
+// Shutdown drains the server gracefully: it stops accepting, nacks new
+// subscribe/unsubscribe work and ignores new publishes, then waits for
+// every connection's outbox to flush to its socket before closing. When
+// ctx expires first the remaining connections are hard-closed and
+// ctx.Err is returned. Stalled consumers do not pin the drain: the
+// slow-consumer and write-deadline reapers keep running and a dropped
+// connection no longer counts toward the flush condition.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	already := s.draining.Swap(true)
+	ln := s.ln
+	s.mu.Unlock()
+	if !already {
+		s.drainStarted.Add(1)
+		if ln != nil {
+			ln.Close() // Serve sees draining and returns nil
+		}
+	}
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for !s.outboxesFlushed() {
+		select {
+		case <-ctx.Done():
+			s.drainExpired.Add(1)
+			s.Close()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+	s.drainFlushed.Add(1)
+	s.Close()
+	return nil
+}
+
+// outboxesFlushed reports whether every live connection has written all
+// frames it ever enqueued. Reading enqueued before written keeps the
+// check conservative: a frame enqueued between the two loads can make
+// the counts look unequal, never prematurely equal.
+func (s *Server) outboxesFlushed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for c := range s.conns {
+		if c.enqueued.Load() != c.written.Load() {
+			return false
+		}
+	}
+	return true
+}
+
 func (c *conn) writeLoop() {
+	timeout := c.s.writeTimeout()
 	for {
 		select {
 		case frame := <-c.outbox:
+			if timeout > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(timeout))
+			}
 			if err := writeFrame(c.nc, frame); err != nil {
 				c.shutdown()
 				return
 			}
+			c.written.Add(1)
 		case <-c.done:
 			return
 		}
 	}
 }
 
-// send enqueues a frame. A full outbox first applies backpressure (the
-// sending publisher blocks, bounding its ingestion rate to the
-// consumer's drain rate, as pub/sub flow control should); only a
-// consumer that stays stalled past SlowConsumerTimeout is dropped.
-func (c *conn) send(frame []byte) {
+// send enqueues a frame and reports whether it was accepted. A full
+// outbox first applies backpressure (the sending publisher blocks,
+// bounding its ingestion rate to the consumer's drain rate, as pub/sub
+// flow control should); only a consumer that stays stalled past
+// SlowConsumerTimeout is dropped. Callers that count deliveries must
+// only count frames send accepted — a dropped frame never reaches the
+// wire.
+func (c *conn) send(frame []byte) bool {
 	select {
 	case c.outbox <- frame:
-		return
+		c.enqueued.Add(1)
+		return true
 	case <-c.done:
-		return
+		return false
 	default:
 	}
 	timeout := c.s.SlowConsumerTimeout
@@ -220,11 +358,15 @@ func (c *conn) send(frame []byte) {
 	defer t.Stop()
 	select {
 	case c.outbox <- frame:
+		c.enqueued.Add(1)
+		return true
 	case <-c.done:
+		return false
 	case <-t.C:
 		c.s.slowDrops.Add(1)
 		c.s.Logf("broker: dropping slow consumer %v (stalled %v)", c.nc.RemoteAddr(), timeout)
 		c.shutdown()
+		return false
 	}
 }
 
@@ -254,10 +396,19 @@ func (c *conn) shutdown() {
 
 func (c *conn) readLoop() {
 	defer c.shutdown()
+	deadline := c.s.readDeadline()
 	var buf []byte
 	for {
+		if deadline > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(deadline))
+		}
 		frame, err := readFrame(c.nc, buf)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.s.heartbeatTimeouts.Add(1)
+				c.s.Logf("broker: reaping %v (silent past %v)", c.nc.RemoteAddr(), deadline)
+			}
 			return
 		}
 		buf = frame
@@ -269,6 +420,12 @@ func (c *conn) readLoop() {
 }
 
 func (c *conn) handle(frame []byte) error {
+	if !c.hello {
+		if frame[0] != msgHello {
+			return fmt.Errorf("expected hello, got %q", frame[0])
+		}
+		return c.handleHello(frame[1:])
+	}
 	switch frame[0] {
 	case msgSubscribe:
 		return c.handleSubscribe(frame[1:])
@@ -276,9 +433,34 @@ func (c *conn) handle(frame []byte) error {
 		return c.handleUnsubscribe(frame[1:])
 	case msgPublish:
 		return c.handlePublish(frame[1:])
+	case msgPing:
+		c.send([]byte{msgPong})
+		return nil
 	default:
 		return fmt.Errorf("unknown message type %q", frame[0])
 	}
+}
+
+func (c *conn) handleHello(body []byte) error {
+	if len(body) != 1 {
+		return fmt.Errorf("bad hello: %d-byte payload", len(body))
+	}
+	if v := body[0]; v != ProtocolVersion {
+		// Written synchronously, not via the outbox: the connection is
+		// about to close and would race the writer goroutine out of
+		// delivering the explanation. No frame can be in flight before the
+		// handshake, so the direct write cannot interleave.
+		frame := appendUvarint([]byte{msgErr}, 0)
+		frame = append(frame, fmt.Sprintf("unsupported protocol version %d (server speaks %d)", v, ProtocolVersion)...)
+		if timeout := c.s.writeTimeout(); timeout > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		writeFrame(c.nc, frame)
+		return fmt.Errorf("client speaks protocol %d, want %d", body[0], ProtocolVersion)
+	}
+	c.hello = true
+	c.send(helloFrame())
+	return nil
 }
 
 func (c *conn) ack(clientID uint64) {
@@ -299,6 +481,11 @@ func (c *conn) handleSubscribe(body []byte) error {
 		return fmt.Errorf("trailing bytes after subscribe")
 	}
 	clientID := uint64(x.ID)
+	if c.s.draining.Load() {
+		c.s.drainRejects.Add(1)
+		c.nack(clientID, errors.New("broker draining"))
+		return nil
+	}
 	c.mu.Lock()
 	_, dup := c.byClient[clientID]
 	c.mu.Unlock()
@@ -329,6 +516,11 @@ func (c *conn) handleUnsubscribe(body []byte) error {
 	clientID, rest, err := readUvarint(body)
 	if err != nil || len(rest) != 0 {
 		return fmt.Errorf("bad unsubscribe")
+	}
+	if c.s.draining.Load() {
+		c.s.drainRejects.Add(1)
+		c.nack(clientID, errors.New("broker draining"))
+		return nil
 	}
 	c.mu.Lock()
 	engID, ok := c.byClient[clientID]
@@ -361,6 +553,11 @@ func (c *conn) handlePublish(body []byte) error {
 	if n != len(body) {
 		return fmt.Errorf("trailing bytes after publish")
 	}
+	if c.s.draining.Load() {
+		// Publish is fire-and-forget: there is no id to nack, and the
+		// drain contract is to flush already-matched work, not take more.
+		return nil
+	}
 	c.s.published.Add(1)
 	matches := c.s.eng.Match(ev)
 	if len(matches) == 0 {
@@ -381,8 +578,9 @@ func (c *conn) handlePublish(body []byte) error {
 			frame = appendUvarint(frame, id)
 		}
 		frame = expr.AppendEvent(frame, ev)
-		target.send(frame)
-		c.s.delivered.Add(int64(len(clientIDs)))
+		if target.send(frame) {
+			c.s.delivered.Add(int64(len(clientIDs)))
+		}
 	}
 	return nil
 }

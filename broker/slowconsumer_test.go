@@ -54,6 +54,7 @@ func TestSlowConsumerDropped(t *testing.T) {
 	}
 	defer stalled.Close()
 	stalled.(*net.TCPConn).SetReadBuffer(4096)
+	rawHello(t, stalled)
 	sub := expr.MustNew(1, expr.Ge(1, 0))
 	if err := writeFrame(stalled, append([]byte{msgSubscribe}, expr.AppendExpression(nil, sub)...)); err != nil {
 		t.Fatal(err)

@@ -19,9 +19,17 @@
 // listener: /metrics (Prometheus text), /metrics.json, /healthz and
 // /debug/pprof/. It carries per-match latency histograms, stream and
 // broker counters and profiling data; keep it off untrusted networks.
+//
+// On SIGTERM/SIGINT the broker drains gracefully: with -checkpoint it
+// first persists the subscription set atomically (restored on the next
+// boot), then stops accepting, nacks new work and flushes every client
+// outbox before closing, up to -drain-timeout. -heartbeat,
+// -heartbeat-missed and -write-timeout tune how aggressively dead and
+// wedged connections are reaped.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,13 +49,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		algName  = flag.String("algorithm", "apcm", "matching algorithm (apcm, pcm, kindex, betree, counting, scan)")
-		workers  = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
-		subs     = flag.String("subs", "", "optional subscription trace to pre-load")
-		statsIv  = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
-		httpAddr = flag.String("http", "", "optional HTTP monitoring address (serves /stats and /healthz)")
-		metAddr  = flag.String("metrics-addr", "", "optional observability address (serves /metrics, /metrics.json and /debug/pprof)")
+		addr       = flag.String("addr", ":7070", "listen address")
+		algName    = flag.String("algorithm", "apcm", "matching algorithm (apcm, pcm, kindex, betree, counting, scan)")
+		workers    = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		subs       = flag.String("subs", "", "optional subscription trace to pre-load")
+		statsIv    = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+		httpAddr   = flag.String("http", "", "optional HTTP monitoring address (serves /stats and /healthz)")
+		metAddr    = flag.String("metrics-addr", "", "optional observability address (serves /metrics, /metrics.json and /debug/pprof)")
+		checkpoint = flag.String("checkpoint", "", "subscription checkpoint file: restored on boot, written atomically on shutdown")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT before hard close")
+		hbInterval = flag.Duration("heartbeat", 0, "expected client heartbeat cadence (0 = 5s default, negative disables idle reaping)")
+		hbMissed   = flag.Int("heartbeat-missed", 0, "missed heartbeats before a silent connection is reaped (0 = 3)")
+		writeTO    = flag.Duration("write-timeout", 0, "per-frame client write deadline (0 = 10s default, negative disables)")
 	)
 	flag.Parse()
 
@@ -89,12 +102,26 @@ func main() {
 		fmt.Printf("apcm-broker: pre-loaded %d subscriptions from %s\n", len(xs), *subs)
 	}
 
+	if *checkpoint != "" {
+		n, err := eng.RestoreSubscriptions(*checkpoint)
+		if err != nil {
+			fatal("restoring %s: %v", *checkpoint, err)
+		}
+		if n > 0 {
+			eng.Prepare()
+			fmt.Printf("apcm-broker: restored %d subscriptions from %s\n", n, *checkpoint)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal("%v", err)
 	}
 	srv := broker.NewServer(eng)
 	srv.Metrics = reg
+	srv.HeartbeatInterval = *hbInterval
+	srv.MissedHeartbeats = *hbMissed
+	srv.WriteTimeout = *writeTO
 	start := time.Now()
 	fmt.Printf("apcm-broker: %s engine, listening on %s\n", alg, ln.Addr())
 
@@ -164,7 +191,21 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\napcm-broker: shutting down")
-		srv.Close()
+		// Checkpoint before draining: Shutdown closes every connection,
+		// which unregisters its subscriptions — the state to persist is
+		// the one that existed while clients were still attached.
+		if *checkpoint != "" {
+			if err := eng.CheckpointSubscriptions(*checkpoint); err != nil {
+				fmt.Fprintf(os.Stderr, "apcm-broker: checkpoint: %v\n", err)
+			} else {
+				fmt.Printf("apcm-broker: checkpointed subscriptions to %s\n", *checkpoint)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-broker: drain: %v\n", err)
+		}
 	}()
 
 	if err := srv.Serve(ln); err != nil {

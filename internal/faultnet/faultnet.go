@@ -1,0 +1,259 @@
+// Package faultnet wraps net.Conn and net.Listener with seeded,
+// deterministic fault injection for exercising failure paths in-process:
+// added latency, partial writes (large writes split into small
+// syscalls), byte corruption, hard resets mid-frame, and blackholes
+// (the link silently stops passing traffic while the socket stays
+// open). Every probabilistic choice draws from a PRNG seeded through
+// Options.Seed, so a failing test reproduces exactly by rerunning with
+// the printed seed.
+//
+// The wrapper is transport-agnostic: it composes with net.Pipe as well
+// as real TCP connections, and a Listener wrapper applies one Options
+// to every accepted connection so server-side links can be degraded
+// uniformly.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options selects which faults a wrapped connection injects. The zero
+// value injects nothing (a transparent wrapper).
+type Options struct {
+	// Seed seeds the connection's PRNG (chunk sizes, corruption
+	// offsets, latency jitter). Connections derived from one Listener
+	// share the seed stream, so a whole scenario replays from one
+	// number.
+	Seed int64
+	// Latency is added before every Write reaches the underlying
+	// connection, modelling a slow link. Jitter, when non-zero, adds a
+	// uniform random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// MaxChunk, when > 0, splits every Write into chunks of 1..MaxChunk
+	// bytes, each its own underlying Write — the partial-write shapes
+	// real sockets produce under memory pressure, which exercise every
+	// reader's short-read handling.
+	MaxChunk int
+	// CorruptEveryN, when > 0, flips all bits of one random byte in
+	// every Nth Write, modelling in-flight corruption. The caller's
+	// buffer is never mutated.
+	CorruptEveryN int
+	// ResetAfterBytes, when > 0, hard-closes the underlying connection
+	// after that many bytes have been written — typically mid-frame,
+	// the shape of a peer crash or RST.
+	ResetAfterBytes int64
+}
+
+// Conn is a net.Conn with fault injection. Wrap builds one; the
+// Blackhole, Heal and Reset methods inject scenario-driven faults at
+// test-chosen moments on top of the static Options.
+type Conn struct {
+	nc   net.Conn
+	opts Options
+
+	rmu sync.Mutex // serialises PRNG draws and write accounting
+	rng *rand.Rand
+
+	written int64
+	writes  int64
+
+	gateMu sync.Mutex
+	gate   chan struct{} // non-nil while blackholed; closed by Heal
+
+	closeO sync.Once
+	closed chan struct{}
+}
+
+// Wrap decorates nc with fault injection per opts.
+func Wrap(nc net.Conn, opts Options) *Conn {
+	return &Conn{
+		nc:     nc,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// Blackhole makes the link silently stop passing traffic: Reads block
+// (until Heal or Close) and Writes are swallowed as if the packets
+// vanished in flight. The socket itself stays open — exactly the
+// failure heartbeats exist to detect.
+func (c *Conn) Blackhole() {
+	c.gateMu.Lock()
+	if c.gate == nil {
+		c.gate = make(chan struct{})
+	}
+	c.gateMu.Unlock()
+}
+
+// Heal reopens a blackholed link; blocked Reads resume.
+func (c *Conn) Heal() {
+	c.gateMu.Lock()
+	if c.gate != nil {
+		close(c.gate)
+		c.gate = nil
+	}
+	c.gateMu.Unlock()
+}
+
+// Reset hard-closes the underlying connection immediately, regardless
+// of any in-flight frame boundary.
+func (c *Conn) Reset() {
+	c.Close()
+}
+
+func (c *Conn) blackholed() (gate chan struct{}, yes bool) {
+	c.gateMu.Lock()
+	defer c.gateMu.Unlock()
+	return c.gate, c.gate != nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		gate, yes := c.blackholed()
+		if !yes {
+			return c.nc.Read(p)
+		}
+		select {
+		case <-gate: // healed; retry
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if _, yes := c.blackholed(); yes {
+		// Swallowed in flight: the sender sees success, the bytes are
+		// gone. A healed link therefore resumes desynchronized unless
+		// the protocol re-handshakes — which is the point.
+		return len(p), nil
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if d := c.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	c.writes++
+	corrupt := c.opts.CorruptEveryN > 0 && c.writes%int64(c.opts.CorruptEveryN) == 0
+	if corrupt {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[c.rng.Intn(len(q))] ^= 0xFF
+		p = q
+	}
+	n := 0
+	for n < len(p) {
+		chunk := p[n:]
+		if c.opts.MaxChunk > 0 && len(chunk) > 1 {
+			sz := 1 + c.rng.Intn(c.opts.MaxChunk)
+			if sz < len(chunk) {
+				chunk = chunk[:sz]
+			}
+		}
+		if lim := c.opts.ResetAfterBytes; lim > 0 && c.written+int64(len(chunk)) > lim {
+			if room := lim - c.written; room > 0 {
+				m, _ := c.nc.Write(chunk[:room])
+				n += m
+				c.written += int64(m)
+			}
+			c.nc.Close()
+			return n, net.ErrClosed
+		}
+		m, err := c.nc.Write(chunk)
+		n += m
+		c.written += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (c *Conn) delay() time.Duration {
+	d := c.opts.Latency
+	if c.opts.Jitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(c.opts.Jitter)))
+	}
+	return d
+}
+
+// WrittenBytes reports how many bytes reached the underlying
+// connection (post-chunking, pre-kernel).
+func (c *Conn) WrittenBytes() int64 {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.written
+}
+
+func (c *Conn) Close() error {
+	var err error
+	c.closeO.Do(func() {
+		close(c.closed)
+		err = c.nc.Close()
+	})
+	return err
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.nc.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.nc.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.nc.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.nc.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection carries
+// the same fault Options. Accepted connections are retained for
+// scenario control (Conns, BlackholeAll, HealAll).
+type Listener struct {
+	net.Listener
+	opts Options
+
+	mu    sync.Mutex
+	conns []*Conn
+	next  int64 // per-connection seed offset, so streams differ but derive from Seed
+}
+
+// WrapListener decorates ln.
+func WrapListener(ln net.Listener, opts Options) *Listener {
+	return &Listener{Listener: ln, opts: opts}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	opts := l.opts
+	opts.Seed += l.next
+	l.next++
+	c := Wrap(nc, opts)
+	l.conns = append(l.conns, c)
+	l.mu.Unlock()
+	return c, nil
+}
+
+// Conns returns every connection accepted so far.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// BlackholeAll blackholes every accepted connection.
+func (l *Listener) BlackholeAll() {
+	for _, c := range l.Conns() {
+		c.Blackhole()
+	}
+}
+
+// HealAll heals every accepted connection.
+func (l *Listener) HealAll() {
+	for _, c := range l.Conns() {
+		c.Heal()
+	}
+}

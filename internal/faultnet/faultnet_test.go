@@ -1,0 +1,251 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faultnet-wrapped side of a net.Pipe and a reader
+// goroutine collecting everything the other side receives.
+func pipePair(t *testing.T, opts Options) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	c := Wrap(a, opts)
+	t.Cleanup(func() { c.Close(); b.Close() })
+	return c, b
+}
+
+func readAll(t *testing.T, r net.Conn, into *bytes.Buffer, done chan<- struct{}) {
+	t.Helper()
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		into.Write(buf[:n])
+		if err != nil {
+			close(done)
+			return
+		}
+	}
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	c, peer := pipePair(t, Options{Seed: 1})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go readAll(t, peer, &got, done)
+	msg := []byte("hello fault injection")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	c.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("received %q, want %q", got.Bytes(), msg)
+	}
+}
+
+// TestChunkingDeterministic proves partial writes are reproducible: two
+// connections with the same seed split an identical payload into the
+// same byte stream (content unchanged), and write counts match.
+func TestChunkingDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 100)
+	run := func(seed int64) (data []byte, writes int64) {
+		a, b := net.Pipe()
+		defer b.Close()
+		c := Wrap(a, Options{Seed: seed, MaxChunk: 7})
+		defer c.Close()
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go readAll(t, b, &got, done)
+		if _, err := c.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		<-done
+		c.rmu.Lock()
+		writes = c.writes
+		c.rmu.Unlock()
+		return got.Bytes(), writes
+	}
+	d1, w1 := run(42)
+	d2, w2 := run(42)
+	if !bytes.Equal(d1, payload) || !bytes.Equal(d2, payload) {
+		t.Fatal("chunked payload corrupted")
+	}
+	if w1 != w2 {
+		t.Fatalf("write counts differ for equal seeds: %d vs %d", w1, w2)
+	}
+}
+
+// TestCorruptionFlipsOneByteWithoutMutatingCaller checks the Nth-write
+// corruption: the wire sees exactly one altered byte and the caller's
+// buffer is untouched.
+func TestCorruptionFlipsOneByteWithoutMutatingCaller(t *testing.T) {
+	c, peer := pipePair(t, Options{Seed: 7, CorruptEveryN: 2})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go readAll(t, peer, &got, done)
+
+	first := []byte("first-frame-unharmed")
+	second := []byte("second-frame-corrupt")
+	keep := append([]byte(nil), second...)
+	if _, err := c.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-done
+	if !bytes.Equal(second, keep) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+	wire := got.Bytes()
+	if !bytes.Equal(wire[:len(first)], first) {
+		t.Fatal("first write (not the Nth) was corrupted")
+	}
+	diff := 0
+	for i, b := range wire[len(first):] {
+		if b != second[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("second write differs in %d bytes, want exactly 1", diff)
+	}
+}
+
+// TestResetAfterBytes cuts the connection mid-payload: the peer
+// receives exactly the byte budget, then EOF.
+func TestResetAfterBytes(t *testing.T) {
+	c, peer := pipePair(t, Options{Seed: 3, ResetAfterBytes: 10})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go readAll(t, peer, &got, done)
+	n, err := c.Write(bytes.Repeat([]byte{0xAB}, 64))
+	if err == nil {
+		t.Fatal("write past the reset budget succeeded")
+	}
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before reset, want 10", n)
+	}
+	<-done
+	if got.Len() != 10 {
+		t.Fatalf("peer received %d bytes, want 10", got.Len())
+	}
+}
+
+// TestBlackholeAndHeal: while blackholed, reads block and writes are
+// swallowed; after Heal, traffic flows again.
+func TestBlackholeAndHeal(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{Seed: 9})
+	defer c.Close()
+
+	c.Blackhole()
+	// Swallowed write: succeeds but never reaches the peer.
+	if _, err := c.Write([]byte("vanishes")); err != nil {
+		t.Fatalf("blackholed write errored: %v", err)
+	}
+	// Blocked read: must not return within a short grace window.
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := c.Read(buf)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("read returned during blackhole: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	c.Heal()
+	go b.Write([]byte("resumed!"))
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatalf("post-heal read: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked after heal")
+	}
+}
+
+// TestBlackholedReadUnblocksOnClose: closing the wrapped conn releases
+// a reader parked at the blackhole gate.
+func TestBlackholedReadUnblocksOnClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{})
+	c.Blackhole()
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 4))
+		readDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("read succeeded on a closed blackholed conn")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+}
+
+// TestListenerWrapsAcceptedConns: connections accepted through a
+// wrapped listener are fault-injected and reachable via Conns.
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := WrapListener(ln, Options{Seed: 5})
+	defer fl.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := fl.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		accepted <- nc
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	if len(fl.Conns()) != 1 {
+		t.Fatalf("Conns() = %d, want 1", len(fl.Conns()))
+	}
+	fl.BlackholeAll()
+	if _, err := server.Write([]byte("gone")); err != nil {
+		t.Fatalf("blackholed server write: %v", err)
+	}
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := client.Read(make([]byte, 4)); err == nil {
+		t.Fatal("client received bytes through a blackholed link")
+	}
+	fl.HealAll()
+	go server.Write([]byte("back"))
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+	if string(buf) != "back" {
+		t.Fatalf("got %q", buf)
+	}
+}

@@ -1,8 +1,12 @@
 package apcm
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/trace"
@@ -44,6 +48,68 @@ func (e *Engine) SaveSubscriptions(w io.Writer) error {
 		return werr
 	}
 	return tw.Close()
+}
+
+// CheckpointSubscriptions persists the live subscription set to path,
+// atomically: the trace is written to a temporary file in the same
+// directory, fsynced, and renamed over path, and the directory entry is
+// then fsynced too. A crash — or a Save failure such as an engine
+// holding DNF groups — at any point leaves either the previous
+// checkpoint or the new one, never a truncated or partial file.
+func (e *Engine) CheckpointSubscriptions(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".apcm-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("apcm: checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("apcm: checkpoint: %w", err)
+	}
+	if err := e.SaveSubscriptions(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("apcm: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("apcm: checkpoint: %w", err)
+	}
+	// The rename is durable only once the directory entry is on disk.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("apcm: checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("apcm: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreSubscriptions loads the checkpoint at path into the engine. A
+// missing file is not an error — a broker booting for the first time
+// has no checkpoint yet — and restores nothing. It returns the number
+// of subscriptions restored; like LoadSubscriptions, a corrupt tail
+// keeps the subscriptions read before the failure and still advances
+// the id allocator past them.
+func (e *Engine) RestoreSubscriptions(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return e.LoadSubscriptions(f)
 }
 
 // LoadSubscriptions reads a trace written by SaveSubscriptions (or by

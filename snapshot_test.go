@@ -1,0 +1,140 @@
+package apcm_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+)
+
+// TestPartialLoadAdvancesIDAllocator: a load that fails partway keeps
+// the subscriptions read before the failure, and the id allocator must
+// be past every one of them — NewID colliding with a survivor would
+// silently cross-wire two subscriptions.
+func TestPartialLoadAdvancesIDAllocator(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []*expr.Expression{
+		expr.MustNew(100, expr.Eq(1, 1)),
+		expr.MustNew(200, expr.Eq(2, 2)),
+	}
+	if err := trace.WriteExpressions(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	// Chop the trace mid-second-record: the first expression loads, the
+	// second fails.
+	n, err := eng.LoadSubscriptions(bytes.NewReader(full[:len(full)-1]))
+	if err == nil {
+		t.Fatal("truncated trace loaded without error")
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d subscriptions from the truncated trace, want 1", n)
+	}
+	if got := eng.Len(); got != 1 {
+		t.Fatalf("engine holds %d subscriptions, want 1", got)
+	}
+	if id := eng.NewID(); id <= 100 {
+		t.Fatalf("NewID = %d after restoring id 100, want > 100", id)
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	for i := expr.ID(1); i <= 5; i++ {
+		if err := eng.Subscribe(expr.MustNew(i, expr.Eq(expr.AttrID(i), expr.Value(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "subs.ckpt")
+	if err := eng.CheckpointSubscriptions(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := apcm.MustNew(apcm.Options{Workers: 1})
+	defer restored.Close()
+	n, err := restored.RestoreSubscriptions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || restored.Len() != 5 {
+		t.Fatalf("restored %d subscriptions (engine holds %d), want 5", n, restored.Len())
+	}
+	if id := restored.NewID(); id <= 5 {
+		t.Fatalf("NewID = %d after restoring ids 1..5, want > 5", id)
+	}
+	got := restored.Match(expr.MustEvent(expr.P(3, 3)))
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("restored engine matched %v, want [3]", got)
+	}
+}
+
+// TestCheckpointFailureKeepsPrevious: a checkpoint attempt that fails
+// mid-save (here: the engine grew DNF groups, which the trace format
+// cannot represent) must leave the previous checkpoint byte-for-byte
+// intact and no temporary litter behind.
+func TestCheckpointFailureKeepsPrevious(t *testing.T) {
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	if err := eng.Subscribe(expr.MustNew(1, expr.Eq(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "subs.ckpt")
+	if err := eng.CheckpointSubscriptions(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the next save fail after the temp file is already created.
+	if _, err := eng.SubscribeAny(
+		[]expr.Predicate{expr.Eq(2, 2)},
+		[]expr.Predicate{expr.Eq(3, 3)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CheckpointSubscriptions(path); err == nil {
+		t.Fatal("checkpoint of a DNF-holding engine succeeded")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint gone after failed attempt: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed checkpoint attempt modified the previous checkpoint")
+	}
+	leftover, err := filepath.Glob(filepath.Join(dir, ".apcm-checkpoint-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("temp files left behind: %v", leftover)
+	}
+	restored := apcm.MustNew(apcm.Options{Workers: 1})
+	defer restored.Close()
+	if n, err := restored.RestoreSubscriptions(path); err != nil || n != 1 {
+		t.Fatalf("RestoreSubscriptions = %d, %v after failed re-checkpoint, want 1, nil", n, err)
+	}
+}
+
+// TestRestoreMissingCheckpoint: first boot, no checkpoint yet — not an
+// error.
+func TestRestoreMissingCheckpoint(t *testing.T) {
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	n, err := eng.RestoreSubscriptions(filepath.Join(t.TempDir(), "never-written.ckpt"))
+	if err != nil || n != 0 {
+		t.Fatalf("RestoreSubscriptions = %d, %v for a missing file, want 0, nil", n, err)
+	}
+}
