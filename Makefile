@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fault lint lint-json lint-smoke bench-smoke clean
+.PHONY: all build test race fault fuzz lint lint-json lint-smoke bench-smoke clean
 
 all: build lint test
 
@@ -20,12 +20,24 @@ race:
 	$(GO) test -race -timeout 20m . ./broker/ ./metrics/ ./internal/sched/ ./internal/osr/ ./internal/core/
 
 # The fault-injection suite (broker restart/partition/slow-link/reset
-# scenarios over internal/faultnet) under the race detector. Scenarios
-# are seeded and deterministic; the seed in use is always logged, and
-# APCM_FAULT_SEED replays a specific schedule:
+# scenarios over internal/faultnet, plus the commit-log crash-recovery
+# matrix killing the broker at seeded points in the commit path) under
+# the race detector. Scenarios are seeded and deterministic; the seed in
+# use is always logged, and APCM_FAULT_SEED replays a specific schedule:
 #   APCM_FAULT_SEED=42 make fault
 fault:
-	$(GO) test -race -timeout 10m -count=1 ./broker/ ./internal/faultnet/
+	$(GO) test -race -timeout 10m -count=1 ./broker/ ./internal/faultnet/ ./internal/commitlog/
+
+# Short smoke runs of every fuzz target: decoder hardening for the wire
+# formats (expression/event frames, trace files, checkpoint files,
+# commit-log batches). CI runs the same; longer local sessions:
+#   go test -fuzz FuzzScanner -fuzztime 5m ./internal/commitlog/
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeExpression -fuzztime 10s ./expr/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 10s ./expr/
+	$(GO) test -run '^$$' -fuzz FuzzReadTrace -fuzztime 10s ./trace/
+	$(GO) test -run '^$$' -fuzz FuzzLoadSubscriptions -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzScanner -fuzztime 30s ./internal/commitlog/
 
 # The apcm analyzer suite (internal/lint) over the whole module.
 # Equivalent invocations:

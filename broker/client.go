@@ -31,6 +31,15 @@ type ClientOptions struct {
 	// WriteTimeout bounds each frame write. Defaults to 10s; negative
 	// disables.
 	WriteTimeout time.Duration
+	// OnDurable, when non-nil, observes every durable delivery after its
+	// subscription handlers ran: the commit-log offset and the event. It
+	// runs on the read loop, before the automatic acknowledgement.
+	OnDurable func(offset uint64, ev *expr.Event)
+	// DisableAutoAck turns off the automatic offset acknowledgement sent
+	// after each durable delivery's handlers return. The application then
+	// owns calling AckOffset — until it does, a broker restart redelivers
+	// from the last acknowledged offset.
+	DisableAutoAck bool
 }
 
 func (o *ClientOptions) fillDefaults() {
@@ -62,6 +71,12 @@ type Client struct {
 	// past PongTimeout.
 	lastRead atomic.Int64
 
+	// version is the negotiated protocol revision (0 until the server's
+	// hello arrives; helloCh closes when it does).
+	version   atomic.Uint32
+	helloCh   chan struct{}
+	helloOnce sync.Once
+
 	mu       sync.Mutex
 	handlers map[uint64]Handler
 	acks     chan ackResult
@@ -72,16 +87,22 @@ type Client struct {
 
 type ackResult struct {
 	id  uint64
+	off uint64 // resume-ok start offset; 0 otherwise
 	err error
 }
 
 // Dial connects to a broker at addr.
 func Dial(addr string) (*Client, error) {
+	return DialOpts(addr, ClientOptions{})
+}
+
+// DialOpts connects to a broker at addr with explicit options.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc), nil
+	return NewClientOpts(nc, opts), nil
 }
 
 // NewClient wraps an established connection with default options.
@@ -100,6 +121,7 @@ func NewClientOpts(nc net.Conn, opts ClientOptions) *Client {
 		opts:     opts,
 		handlers: make(map[uint64]Handler),
 		acks:     make(chan ackResult, 1),
+		helloCh:  make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	c.lastRead.Store(time.Now().UnixNano())
@@ -155,10 +177,14 @@ func (c *Client) readLoop() {
 		c.lastRead.Store(time.Now().UnixNano())
 		switch frame[0] {
 		case msgHello:
-			if len(frame) != 2 || frame[1] != ProtocolVersion {
-				c.fail(fmt.Errorf("broker: server hello %v, want version %d", frame[1:], ProtocolVersion))
+			// The server answers with the negotiated version: at most what
+			// we offered (ProtocolVersion), at least MinProtocolVersion.
+			if len(frame) != 2 || frame[1] < MinProtocolVersion || frame[1] > ProtocolVersion {
+				c.fail(fmt.Errorf("broker: server hello %v, want version %d-%d", frame[1:], MinProtocolVersion, ProtocolVersion))
 				return
 			}
+			c.version.Store(uint32(frame[1]))
+			c.helloOnce.Do(func() { close(c.helloCh) })
 		case msgPong:
 			// lastRead already refreshed; nothing else to do.
 		case msgAck:
@@ -177,6 +203,23 @@ func (c *Client) readLoop() {
 			c.deliverAck(ackResult{id: id, err: fmt.Errorf("broker: %s", rest)})
 		case msgMatch:
 			if err := c.handleMatch(frame[1:]); err != nil {
+				c.fail(err)
+				return
+			}
+		case msgResumeOK:
+			id, rest, err := readUvarint(frame[1:])
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			start, _, err := readUvarint(rest)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliverAck(ackResult{id: id, off: start})
+		case msgDurable:
+			if err := c.handleDurable(frame[1:]); err != nil {
 				c.fail(err)
 				return
 			}
@@ -229,6 +272,102 @@ func (c *Client) handleMatch(body []byte) error {
 	return nil
 }
 
+// handleDurable dispatches one durable delivery: subscription handlers,
+// then the OnDurable observer, then — unless DisableAutoAck — the
+// offset acknowledgement. Acking after the handlers ran means a crash
+// mid-handler leaves the offset unacknowledged and the event is
+// redelivered on the next resume: at-least-once, never silently lost.
+func (c *Client) handleDurable(body []byte) error {
+	off, rest, err := readUvarint(body)
+	if err != nil {
+		return err
+	}
+	n, rest, err := readUvarint(rest)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i], rest, err = readUvarint(rest)
+		if err != nil {
+			return err
+		}
+	}
+	ev, used, err := expr.DecodeEvent(rest)
+	if err != nil {
+		return err
+	}
+	if used != len(rest) {
+		return fmt.Errorf("broker: trailing bytes in durable frame")
+	}
+	c.mu.Lock()
+	hs := make([]Handler, 0, len(ids))
+	for _, id := range ids {
+		if h, ok := c.handlers[id]; ok {
+			hs = append(hs, h)
+		}
+	}
+	c.mu.Unlock()
+	for _, h := range hs {
+		h(ev)
+	}
+	if f := c.opts.OnDurable; f != nil {
+		f(off, ev)
+	}
+	if !c.opts.DisableAutoAck {
+		return c.AckOffset(off)
+	}
+	return nil
+}
+
+// waitHello blocks until the version handshake completes (or the
+// connection fails), so callers can gate on the negotiated version.
+func (c *Client) waitHello() error {
+	select {
+	case <-c.helloCh:
+		return nil
+	case <-c.done:
+		err := c.Err()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return err
+	}
+}
+
+// ServerVersion reports the negotiated protocol version (0 before the
+// handshake completes).
+func (c *Client) ServerVersion() int { return int(c.version.Load()) }
+
+// Resume attaches this connection to the named durable consumer. The
+// broker replays every logged delivery for the consumer from
+// max(from, last acknowledged offset, retention floor) — returned as
+// the effective start offset — and then streams live matches durably:
+// each is committed to the broker's log before delivery and carries its
+// offset. Requires a version-2 broker with durability enabled.
+func (c *Client) Resume(consumer string, from uint64) (uint64, error) {
+	if err := c.waitHello(); err != nil {
+		return 0, err
+	}
+	if v := c.ServerVersion(); v < 2 {
+		return 0, fmt.Errorf("broker: server speaks protocol %d; durable resume needs 2", v)
+	}
+	frame := appendUvarint([]byte{msgResume}, 0)
+	frame = appendUvarint(frame, from)
+	frame = append(frame, consumer...)
+	r, err := c.requestAck(frame, 0)
+	if err != nil {
+		return 0, err
+	}
+	return r.off, nil
+}
+
+// AckOffset acknowledges durable delivery through off (cumulative): the
+// broker persists it and a later resume starts after off.
+func (c *Client) AckOffset(off uint64) error {
+	return c.write(appendUvarint([]byte{msgOffsetAck}, off))
+}
+
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if !c.closed {
@@ -261,21 +400,26 @@ func (c *Client) write(frame []byte) error {
 // attributed to the wrong request — so the connection is failed rather
 // than left permanently desynchronized.
 func (c *Client) request(frame []byte, wantID uint64) error {
+	_, err := c.requestAck(frame, wantID)
+	return err
+}
+
+func (c *Client) requestAck(frame []byte, wantID uint64) (ackResult, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	if err := c.write(frame); err != nil {
-		return err
+		return ackResult{}, err
 	}
 	select {
 	case r := <-c.acks:
 		if r.id != wantID {
 			err := fmt.Errorf("broker: acknowledgement for %d, expected %d: ack stream desynchronized", r.id, wantID)
 			c.fail(err)
-			return err
+			return ackResult{}, err
 		}
-		return r.err
+		return r, r.err
 	case <-c.done:
-		return c.readErr
+		return ackResult{}, c.readErr
 	}
 }
 

@@ -574,9 +574,10 @@ func TestHeartbeatReapsSilentConnection(t *testing.T) {
 	}
 }
 
-// TestVersionMismatchRejected: a hello carrying a version the server
-// does not speak gets an explanatory error frame, then the connection
-// is closed.
+// TestVersionMismatchRejected: a hello below MinProtocolVersion gets an
+// explanatory error frame, then the connection is closed. (Versions
+// above ProtocolVersion negotiate down instead; see
+// TestVersionNegotiatesDown.)
 func TestVersionMismatchRejected(t *testing.T) {
 	_, addr := startServer(t)
 	nc, err := net.Dial("tcp", addr)
@@ -584,7 +585,7 @@ func TestVersionMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	if err := writeFrame(nc, []byte{msgHello, 99}); err != nil {
+	if err := writeFrame(nc, []byte{msgHello, 0}); err != nil {
 		t.Fatal(err)
 	}
 	nc.SetReadDeadline(time.Now().Add(5 * time.Second))

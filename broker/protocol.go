@@ -18,13 +18,32 @@
 //	'E' error        server→client  uvarint id, utf-8 message
 //	'M' match        server→client  uvarint n, n×uvarint ids, event
 //
+// Version 2 adds durable delivery (requires the server to run with a
+// commit log; see Server.LogDir):
+//
+//	'R' resume       client→server  uvarint id, uvarint from, consumer name
+//	'O' resume-ok    server→client  uvarint id, uvarint start offset
+//	'D' durable      server→client  uvarint offset, uvarint n, n×uvarint ids, event
+//	'K' offset-ack   client→server  uvarint offset
+//
 // A connection opens with a version handshake: the client's first frame
-// must be a hello carrying ProtocolVersion, and the server answers with
-// a hello carrying its own version before any other frame. A first
-// frame that is not a hello, or a version the server does not speak,
+// must be a hello carrying the highest version it speaks, and the
+// server answers with a hello carrying the negotiated version —
+// min(client, ProtocolVersion) — before any other frame. A first frame
+// that is not a hello, or a version below MinProtocolVersion,
 // terminates the connection (after a best-effort 'E' frame naming the
 // mismatch), so incompatible peers fail fast instead of desynchronizing
 // mid-stream.
+//
+// Durable delivery: a 'R' resume names a consumer identity and the
+// offset the client wants to read from; the server clamps it to what it
+// knows (persisted consumer progress, log retention), answers 'O' with
+// the effective start offset, replays every logged record for that
+// consumer from there as 'D' frames, and streams subsequent matches as
+// 'D' frames carrying their log offsets. 'K' acknowledges delivery
+// through an offset (cumulative); the server persists it so a later
+// resume starts after the last acknowledged record. Delivery is
+// at-least-once: a crash between delivery and ack redelivers.
 //
 // Liveness is client-driven: clients send 'H' pings on an interval and
 // the server answers 'h'. The server reads under a deadline sized to
@@ -47,10 +66,16 @@ import (
 // abuse and terminate the connection.
 const MaxFrame = 1 << 20
 
-// ProtocolVersion is the wire-protocol revision carried in the hello
-// handshake. Version 1 introduced the handshake itself and the
-// ping/pong keepalive frames.
-const ProtocolVersion = 1
+// ProtocolVersion is the highest wire-protocol revision this build
+// speaks, carried in the hello handshake. Version 1 introduced the
+// handshake itself and the ping/pong keepalive frames; version 2 adds
+// durable delivery (resume, durable-match and offset-ack frames).
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest revision the server still accepts;
+// clients announcing anything in [MinProtocolVersion, ∞) negotiate
+// down to min(theirs, ProtocolVersion).
+const MinProtocolVersion = 1
 
 // Message type bytes.
 const (
@@ -63,6 +88,10 @@ const (
 	msgAck         = 'A'
 	msgErr         = 'E'
 	msgMatch       = 'M'
+	msgResume      = 'R'
+	msgResumeOK    = 'O'
+	msgDurable     = 'D'
+	msgOffsetAck   = 'K'
 )
 
 // helloFrame is the two-byte hello payload both sides send.

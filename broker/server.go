@@ -12,6 +12,7 @@ import (
 
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/commitlog"
 	"github.com/streammatch/apcm/metrics"
 )
 
@@ -44,12 +45,25 @@ type Server struct {
 	// (connections, outbox depth, slow-consumer drops, publish fan-out
 	// latency, heartbeat/drain counters). Set before Serve.
 	Metrics *metrics.Registry
+	// LogDir, when non-empty, enables durable delivery: matched events
+	// for resumed consumers are committed to a segmented log under this
+	// directory before they count as delivered, and per-consumer
+	// acknowledged offsets persist across restarts. Set before Serve.
+	LogDir string
+	// Log tunes the commit log (segment size, flush policy, retention)
+	// when LogDir is set. Zero fields take commitlog defaults; Metrics
+	// is inherited from Server.Metrics when unset. Set before Serve.
+	Log commitlog.Config
 
-	mu     sync.RWMutex
-	subs   map[expr.ID]*subscriber // engine id -> owner
-	conns  map[*conn]struct{}
-	closed bool
-	ln     net.Listener
+	mu        sync.RWMutex
+	subs      map[expr.ID]*subscriber // engine id -> owner
+	conns     map[*conn]struct{}
+	consumers map[string]*consumerState
+	closed    bool
+	ln        net.Listener
+
+	log     *commitlog.Log     // nil without LogDir
+	offsets *commitlog.OffsetStore
 
 	draining          atomic.Bool
 	published         atomic.Int64
@@ -60,6 +74,12 @@ type Server struct {
 	drainFlushed      atomic.Int64
 	drainExpired      atomic.Int64
 	drainRejects      atomic.Int64
+	resumes           atomic.Int64
+	resumeReplayed    atomic.Int64
+	offsetAcks        atomic.Int64
+	logAppendErrs     atomic.Int64
+	checkpointErrs    atomic.Int64
+	attachedConsumers atomic.Int64
 	metOnce           sync.Once
 	publishLat        *metrics.Histogram // nil without a registry (nil-safe)
 }
@@ -79,27 +99,31 @@ type conn struct {
 	outbox chan []byte
 	done   chan struct{}
 	closeO sync.Once
-	// hello flips after a valid version handshake; only the read loop
-	// touches it.
-	hello bool
+	// hello flips after a valid version handshake; version is the
+	// negotiated protocol revision. Only the read loop touches them.
+	hello   bool
+	version byte
 	// enqueued/written frame counts; their equality is the drain
 	// condition in Shutdown (an empty outbox alone would miss the frame
 	// the writer currently holds in flight).
 	enqueued atomic.Int64
 	written  atomic.Int64
-	// engine ids owned by this connection, keyed by client id.
+	// engine ids owned by this connection, keyed by client id, plus the
+	// consumer identity this connection resumed as (nil before resume).
 	mu       sync.Mutex
 	byClient map[uint64]expr.ID
+	consumer *consumerState
 }
 
 // NewServer wraps eng. The server takes no ownership: closing the server
 // does not close the engine.
 func NewServer(eng *apcm.Engine) *Server {
 	return &Server{
-		eng:   eng,
-		Logf:  log.Printf,
-		subs:  make(map[expr.ID]*subscriber),
-		conns: make(map[*conn]struct{}),
+		eng:       eng,
+		Logf:      log.Printf,
+		subs:      make(map[expr.ID]*subscriber),
+		conns:     make(map[*conn]struct{}),
+		consumers: make(map[string]*consumerState),
 	}
 }
 
@@ -194,6 +218,18 @@ func (s *Server) attachMetrics() {
 		}
 		return float64(n)
 	})
+	reg.CounterFunc("apcm_broker_resumes_total", "consumer resume requests accepted",
+		func() float64 { return float64(s.resumes.Load()) })
+	reg.CounterFunc("apcm_broker_resume_replayed_total", "logged records replayed to resuming consumers",
+		func() float64 { return float64(s.resumeReplayed.Load()) })
+	reg.CounterFunc("apcm_broker_offset_acks_total", "offset acknowledgements received from consumers",
+		func() float64 { return float64(s.offsetAcks.Load()) })
+	reg.CounterFunc("apcm_broker_log_append_errors_total", "durable deliveries lost to commit-log append failures",
+		func() float64 { return float64(s.logAppendErrs.Load()) })
+	reg.CounterFunc("apcm_broker_checkpoint_errors_total", "Checkpoint calls that failed to persist state",
+		func() float64 { return float64(s.checkpointErrs.Load()) })
+	reg.GaugeFunc("apcm_broker_consumers", "consumers currently attached for durable delivery",
+		func() float64 { return float64(s.attachedConsumers.Load()) })
 }
 
 // Serve accepts connections on ln until Close or Shutdown. It returns
@@ -207,6 +243,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	s.metOnce.Do(s.attachMetrics)
+	if err := s.openLog(); err != nil {
+		return err
+	}
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -260,6 +299,7 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.shutdown()
 	}
+	s.closeLog()
 }
 
 // Shutdown drains the server gracefully: it stops accepting, nacks new
@@ -374,14 +414,20 @@ func (c *conn) shutdown() {
 	c.closeO.Do(func() {
 		close(c.done)
 		c.nc.Close()
-		// Unregister this connection's subscriptions.
+		// Unregister this connection's subscriptions and detach its
+		// consumer identity so a successor connection can resume it.
 		c.mu.Lock()
 		ids := make([]expr.ID, 0, len(c.byClient))
 		for _, id := range c.byClient {
 			ids = append(ids, id)
 		}
 		c.byClient = make(map[uint64]expr.ID)
+		cs := c.consumer
+		c.consumer = nil
 		c.mu.Unlock()
+		if cs != nil {
+			cs.detach(c)
+		}
 		c.s.mu.Lock()
 		for _, id := range ids {
 			delete(c.s.subs, id)
@@ -436,6 +482,16 @@ func (c *conn) handle(frame []byte) error {
 	case msgPing:
 		c.send([]byte{msgPong})
 		return nil
+	case msgResume:
+		if c.version < 2 {
+			return fmt.Errorf("resume frame on protocol %d connection", c.version)
+		}
+		return c.handleResume(frame[1:])
+	case msgOffsetAck:
+		if c.version < 2 {
+			return fmt.Errorf("offset-ack frame on protocol %d connection", c.version)
+		}
+		return c.handleOffsetAck(frame[1:])
 	default:
 		return fmt.Errorf("unknown message type %q", frame[0])
 	}
@@ -445,21 +501,26 @@ func (c *conn) handleHello(body []byte) error {
 	if len(body) != 1 {
 		return fmt.Errorf("bad hello: %d-byte payload", len(body))
 	}
-	if v := body[0]; v != ProtocolVersion {
+	if v := body[0]; v < MinProtocolVersion {
 		// Written synchronously, not via the outbox: the connection is
 		// about to close and would race the writer goroutine out of
 		// delivering the explanation. No frame can be in flight before the
 		// handshake, so the direct write cannot interleave.
 		frame := appendUvarint([]byte{msgErr}, 0)
-		frame = append(frame, fmt.Sprintf("unsupported protocol version %d (server speaks %d)", v, ProtocolVersion)...)
+		frame = append(frame, fmt.Sprintf("unsupported protocol version %d (server speaks %d-%d)", v, MinProtocolVersion, ProtocolVersion)...)
 		if timeout := c.s.writeTimeout(); timeout > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(timeout))
 		}
 		writeFrame(c.nc, frame)
-		return fmt.Errorf("client speaks protocol %d, want %d", body[0], ProtocolVersion)
+		return fmt.Errorf("client speaks protocol %d, want at least %d", body[0], MinProtocolVersion)
+	}
+	// Negotiate down to the highest revision both sides speak.
+	c.version = body[0]
+	if c.version > ProtocolVersion {
+		c.version = ProtocolVersion
 	}
 	c.hello = true
-	c.send(helloFrame())
+	c.send([]byte{msgHello, c.version})
 	return nil
 }
 
@@ -573,11 +634,21 @@ func (c *conn) handlePublish(body []byte) error {
 	}
 	c.s.mu.RUnlock()
 	for target, clientIDs := range byConn {
-		frame := appendUvarint([]byte{msgMatch}, uint64(len(clientIDs)))
+		// tail = uvarint n, n×uvarint ids, event — shared by the legacy
+		// match frame, the logged record and the durable frame.
+		tail := appendUvarint(nil, uint64(len(clientIDs)))
 		for _, id := range clientIDs {
-			frame = appendUvarint(frame, id)
+			tail = appendUvarint(tail, id)
 		}
-		frame = expr.AppendEvent(frame, ev)
+		tail = expr.AppendEvent(tail, ev)
+		target.mu.Lock()
+		cs := target.consumer
+		target.mu.Unlock()
+		if cs != nil {
+			c.s.deliverDurable(target, cs, tail, len(clientIDs))
+			continue
+		}
+		frame := append([]byte{msgMatch}, tail...)
 		if target.send(frame) {
 			c.s.delivered.Add(int64(len(clientIDs)))
 		}

@@ -84,6 +84,15 @@ type SessionConfig struct {
 	// timeout, write deadline) applied to every connection the session
 	// establishes.
 	Client ClientOptions
+	// Consumer, when non-empty, names a durable consumer identity: every
+	// connection the session establishes resumes it, so deliveries
+	// committed to the broker's log while the session was disconnected
+	// are replayed on reconnect and acknowledged offsets carry across
+	// both session and broker restarts. Requires a version-2 broker with
+	// durability enabled; the session tracks the highest acknowledged
+	// offset and resumes past it, with Client.OnDurable still observing
+	// every delivery.
+	Consumer string
 	// OnStateChange, when non-nil, observes every state transition. It
 	// is called synchronously from session goroutines — keep it short
 	// or hand off.
@@ -136,6 +145,9 @@ type Session struct {
 
 	state      atomic.Int32
 	reconnects atomic.Int64
+	// nextResume is the offset the next resume asks for: one past the
+	// highest durable delivery seen on any connection so far.
+	nextResume atomic.Uint64
 
 	mu   sync.Mutex
 	cur  *Client // nil while disconnected
@@ -146,6 +158,8 @@ type Session struct {
 	mResubs     *metrics.Counter
 	mBufferFull *metrics.Counter
 	mBuffered   *metrics.Gauge
+	mResumes    *metrics.Counter
+	mResumeRej  *metrics.Counter
 }
 
 // DialSession connects to a broker at addr and keeps the connection
@@ -173,6 +187,26 @@ func DialSession(addr string, cfg SessionConfig) (*Session, error) {
 			"publishes rejected with ErrBufferFull")
 		s.mBuffered = reg.Gauge("apcm_broker_publish_buffered",
 			"publish frames waiting in the session buffer")
+		s.mResumes = reg.Counter("apcm_broker_session_resumes_total",
+			"durable consumer resumes completed on fresh connections")
+		s.mResumeRej = reg.Counter("apcm_broker_session_resume_rejected_total",
+			"durable consumer resumes the broker rejected")
+	}
+	if cfg.Consumer != "" {
+		// Chain the offset tracker in front of the application's
+		// OnDurable so every delivery advances the next resume point.
+		user := s.cfg.Client.OnDurable
+		s.cfg.Client.OnDurable = func(off uint64, ev *expr.Event) {
+			for {
+				cur := s.nextResume.Load()
+				if off+1 <= cur || s.nextResume.CompareAndSwap(cur, off+1) {
+					break
+				}
+			}
+			if user != nil {
+				user(off, ev)
+			}
+		}
 	}
 	cl, err := s.connect()
 	if err != nil {
@@ -214,6 +248,20 @@ func (s *Session) connect() (*Client, error) {
 	if err := s.replay(cl); err != nil {
 		cl.Close()
 		return nil, err
+	}
+	if s.cfg.Consumer != "" {
+		if _, err := cl.Resume(s.cfg.Consumer, s.nextResume.Load()); err != nil {
+			// A rejection (busy: the broker has not yet reaped our previous
+			// connection; disabled durability; bad name) fails this attempt
+			// like a transport error — the backoff loop retries it.
+			if !isTransportErr(cl, err) {
+				s.mResumeRej.Inc()
+				s.cfg.Logf("broker session: resume %q rejected: %v", s.cfg.Consumer, err)
+			}
+			cl.Close()
+			return nil, err
+		}
+		s.mResumes.Inc()
 	}
 	return cl, nil
 }

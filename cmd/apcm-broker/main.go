@@ -20,6 +20,13 @@
 // /debug/pprof/. It carries per-match latency histograms, stream and
 // broker counters and profiling data; keep it off untrusted networks.
 //
+// -log-dir enables the durable commit log: every matched delivery is
+// appended to a segmented, CRC-framed log and group-committed (fsync)
+// before it counts as delivered, and clients that resume with a
+// consumer name restart from their last acknowledged offset after a
+// crash or reconnect. -segment-bytes, -flush-bytes, -flush-interval,
+// -retention-bytes, -retention-age and -no-fsync tune it.
+//
 // On SIGTERM/SIGINT the broker drains gracefully: with -checkpoint it
 // first persists the subscription set atomically (restored on the next
 // boot), then stops accepting, nacks new work and flushes every client
@@ -43,6 +50,7 @@ import (
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/broker"
 	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/internal/commitlog"
 	"github.com/streammatch/apcm/metrics"
 	"github.com/streammatch/apcm/trace"
 )
@@ -61,6 +69,13 @@ func main() {
 		hbInterval = flag.Duration("heartbeat", 0, "expected client heartbeat cadence (0 = 5s default, negative disables idle reaping)")
 		hbMissed   = flag.Int("heartbeat-missed", 0, "missed heartbeats before a silent connection is reaped (0 = 3)")
 		writeTO    = flag.Duration("write-timeout", 0, "per-frame client write deadline (0 = 10s default, negative disables)")
+		logDir     = flag.String("log-dir", "", "commit-log directory: enables durable delivery and consumer offsets")
+		segBytes   = flag.Int64("segment-bytes", 0, "commit-log segment size before rotation (0 = 4MiB default)")
+		flushBytes = flag.Int("flush-bytes", 0, "commit-log group-commit threshold in bytes (0 = 64KiB default)")
+		flushIv    = flag.Duration("flush-interval", 0, "commit-log group-commit window (0 = 2ms default)")
+		retBytes   = flag.Int64("retention-bytes", 0, "commit-log size retention: sealed segments beyond this are deleted (0 = unlimited)")
+		retAge     = flag.Duration("retention-age", 0, "commit-log age retention: sealed segments older than this are deleted (0 = unlimited)")
+		noFsync    = flag.Bool("no-fsync", false, "skip commit-log fsyncs (faster, loses durability across power failure)")
 	)
 	flag.Parse()
 
@@ -122,6 +137,18 @@ func main() {
 	srv.HeartbeatInterval = *hbInterval
 	srv.MissedHeartbeats = *hbMissed
 	srv.WriteTimeout = *writeTO
+	if *logDir != "" {
+		srv.LogDir = *logDir
+		srv.Log = commitlog.Config{
+			SegmentBytes:  *segBytes,
+			FlushBytes:    *flushBytes,
+			FlushInterval: *flushIv,
+			RetainBytes:   *retBytes,
+			RetainAge:     *retAge,
+			NoFsync:       *noFsync,
+		}
+		fmt.Printf("apcm-broker: durable delivery enabled, commit log in %s\n", *logDir)
+	}
 	start := time.Now()
 	fmt.Printf("apcm-broker: %s engine, listening on %s\n", alg, ln.Addr())
 
@@ -193,13 +220,12 @@ func main() {
 		fmt.Println("\napcm-broker: shutting down")
 		// Checkpoint before draining: Shutdown closes every connection,
 		// which unregisters its subscriptions — the state to persist is
-		// the one that existed while clients were still attached.
-		if *checkpoint != "" {
-			if err := eng.CheckpointSubscriptions(*checkpoint); err != nil {
-				fmt.Fprintf(os.Stderr, "apcm-broker: checkpoint: %v\n", err)
-			} else {
-				fmt.Printf("apcm-broker: checkpointed subscriptions to %s\n", *checkpoint)
-			}
+		// the one that existed while clients were still attached. The
+		// same call syncs the commit log and consumer offset journals.
+		if err := srv.Checkpoint(*checkpoint); err != nil {
+			fmt.Fprintf(os.Stderr, "apcm-broker: checkpoint: %v\n", err)
+		} else if *checkpoint != "" {
+			fmt.Printf("apcm-broker: checkpointed subscriptions to %s\n", *checkpoint)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()

@@ -8,6 +8,13 @@
 //	apcm-client -addr :7070 -attrs price,brand,rating sub 'price <= 500 and brand in {3, 7}'
 //	apcm-client -addr :7070 -attrs price,brand,rating pub 'price=300, brand=7, rating=5'
 //	apcm-client -addr :7070 load workload.events
+//
+// Against a broker running with -log-dir, -consumer makes a
+// subscription durable: matches arrive from the commit log with their
+// offsets, are acknowledged as they print, and a restarted client with
+// the same consumer name resumes where the last one left off:
+//
+//	apcm-client -addr :7070 -attrs price,brand -consumer audit sub 'brand in {7}'
 package main
 
 import (
@@ -26,8 +33,9 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "localhost:7070", "broker address")
-		attrs = flag.String("attrs", "", "comma-separated attribute names, declared in id order")
+		addr     = flag.String("addr", "localhost:7070", "broker address")
+		attrs    = flag.String("attrs", "", "comma-separated attribute names, declared in id order")
+		consumer = flag.String("consumer", "", "durable consumer name: resume from the last acknowledged offset (sub only; broker needs -log-dir)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -42,7 +50,13 @@ func main() {
 		}
 	}
 
-	c, err := broker.Dial(*addr)
+	var opts broker.ClientOptions
+	if *consumer != "" {
+		opts.OnDurable = func(off uint64, ev *expr.Event) {
+			fmt.Printf("match: @%d %s\n", off, ev.Format(schema))
+		}
+	}
+	c, err := broker.DialOpts(*addr, opts)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -57,10 +71,22 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := c.Subscribe(x, func(ev *expr.Event) {
+		handler := func(ev *expr.Event) {
 			fmt.Printf("match: %s\n", ev.Format(schema))
-		}); err != nil {
+		}
+		if *consumer != "" {
+			// Durable matches print through OnDurable with their offset.
+			handler = func(*expr.Event) {}
+		}
+		if err := c.Subscribe(x, handler); err != nil {
 			fatal("subscribe: %v", err)
+		}
+		if *consumer != "" {
+			start, err := c.Resume(*consumer, 0)
+			if err != nil {
+				fatal("resume: %v", err)
+			}
+			fmt.Printf("apcm-client: resumed consumer %q at offset %d\n", *consumer, start)
 		}
 		fmt.Printf("apcm-client: subscribed to %q; waiting for events (Ctrl-C to exit)\n", x.Format(schema))
 		sig := make(chan os.Signal, 1)
@@ -107,7 +133,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  apcm-client [-addr host:port] [-attrs a,b,c] sub  '<expression>'
+  apcm-client [-addr host:port] [-attrs a,b,c] [-consumer name] sub  '<expression>'
   apcm-client [-addr host:port] [-attrs a,b,c] pub  '<event>'
   apcm-client [-addr host:port]                load <trace.events>`)
 	os.Exit(2)

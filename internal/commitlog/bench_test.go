@@ -1,0 +1,70 @@
+package commitlog
+
+import (
+	"testing"
+	"time"
+)
+
+func benchLog(b *testing.B, noFsync bool) *Log {
+	b.Helper()
+	l, err := Open(b.TempDir(), Config{
+		SegmentBytes:  64 << 20,
+		NoFsync:       noFsync,
+		FlushInterval: 500 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	return l
+}
+
+// BenchmarkLogAppend measures the single-appender staging+flush path
+// with fsync disabled (the CPU cost the 0-alloc gate protects).
+func BenchmarkLogAppend(b *testing.B) {
+	l := benchLog(b, true)
+	rec := make([]byte, 256)
+	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogAppendParallel exercises group commit: concurrent
+// appenders share flushes, so per-append cost drops with parallelism.
+func BenchmarkLogAppendParallel(b *testing.B) {
+	l := benchLog(b, true)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rec := make([]byte, 256)
+		for pb.Next() {
+			if _, err := l.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLogAppendFsyncParallel is the durable configuration: every
+// commit is fsync'd, and group commit amortizes the fsync across the
+// appenders blocked on the same batch.
+func BenchmarkLogAppendFsyncParallel(b *testing.B) {
+	l := benchLog(b, false)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rec := make([]byte, 256)
+		for pb.Next() {
+			if _, err := l.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package commitlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// offsetsDir is the subdirectory OffsetStore uses under a log dir.
+const offsetsDir = "offsets"
+
+// compactAt is the journal size that triggers compaction down to a
+// single value.
+const compactAt = 64 << 10
+
+// ErrBadName rejects consumer names that cannot be used as file stems.
+var ErrBadName = errors.New("commitlog: invalid consumer name")
+
+// ValidName reports whether name is usable as a consumer identity:
+// 1..128 bytes of [A-Za-z0-9._-], not starting with a dot (so names
+// can never traverse paths or hide as dotfiles).
+func ValidName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// OffsetStore persists each consumer's next offset (one past the last
+// acknowledged record) as an append-only journal of 8-byte big-endian
+// values, one file per consumer. Appending 8 bytes per ack keeps the
+// hot path a single small write; recovery takes the last complete value
+// (a torn final write falls back to the previous one — strictly older,
+// so the at-least-once contract is preserved); journals compact back to
+// one value when they grow past a threshold.
+//
+// Acks are deliberately not fsync'd: losing the tail of a journal only
+// rewinds a consumer to an earlier offset, which redelivery already
+// covers. Sync exists for checkpoints and shutdown.
+type OffsetStore struct {
+	dir string
+
+	mu     sync.Mutex
+	files  map[string]*os.File
+	vals   map[string]uint64
+	sizes  map[string]int64
+	closed bool
+}
+
+// OpenOffsets opens (or creates) the offset store rooted at dir,
+// loading every consumer's recovered offset.
+func OpenOffsets(dir string) (*OffsetStore, error) {
+	dir = filepath.Join(dir, offsetsDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	o := &OffsetStore{
+		dir:   dir,
+		files: make(map[string]*os.File),
+		vals:  make(map[string]uint64),
+		sizes: make(map[string]int64),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".off")
+		if e.IsDir() || !ok || !ValidName(name) {
+			continue
+		}
+		if err := o.load(name); err != nil {
+			o.Close()
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+func (o *OffsetStore) path(name string) string {
+	return filepath.Join(o.dir, name+".off")
+}
+
+// load recovers one consumer's journal: truncate any torn tail to an
+// 8-byte boundary, take the last complete value, reopen for append.
+func (o *OffsetStore) load(name string) error {
+	path := o.path(name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	whole := int64(len(data) / 8 * 8)
+	if whole != int64(len(data)) {
+		if err := os.Truncate(path, whole); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	o.files[name] = f
+	o.sizes[name] = whole
+	if whole >= 8 {
+		o.vals[name] = binary.BigEndian.Uint64(data[whole-8 : whole])
+	}
+	return nil
+}
+
+// Get returns the stored next offset for name (false if none).
+func (o *OffsetStore) Get(name string) (uint64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.vals[name]
+	return v, ok
+}
+
+// Set records next as name's next offset. Regressions are ignored (the
+// stored offset only moves forward), so replayed or reordered acks are
+// harmless.
+func (o *OffsetStore) Set(name string, next uint64) error {
+	if !ValidName(name) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	if cur, ok := o.vals[name]; ok && next <= cur {
+		return nil
+	}
+	f, ok := o.files[name]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(o.path(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		o.files[name] = f
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], next)
+	if _, err := f.Write(buf[:]); err != nil {
+		return err
+	}
+	o.vals[name] = next
+	o.sizes[name] += 8
+	if o.sizes[name] >= compactAt {
+		return o.compactLocked(name, next)
+	}
+	return nil
+}
+
+// compactLocked rewrites name's journal as a single value via
+// temp+fsync+rename, the usual atomic-replace dance.
+func (o *OffsetStore) compactLocked(name string, next uint64) error {
+	path := o.path(name)
+	tmp := path + ".tmp"
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], next)
+	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+		return err
+	}
+	tf, err := os.OpenFile(tmp, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	tf.Close()
+	if old := o.files[name]; old != nil {
+		old.Close()
+	}
+	delete(o.files, name)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := syncDir(o.dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	o.files[name] = f
+	o.sizes[name] = 8
+	return nil
+}
+
+// Names returns the consumers with stored offsets, sorted.
+func (o *OffsetStore) Names() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.vals))
+	for name := range o.vals {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sync fsyncs every journal (checkpoint / shutdown path).
+func (o *OffsetStore) Sync() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var err error
+	for _, f := range o.files {
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Close syncs and closes every journal.
+func (o *OffsetStore) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	var err error
+	for name, f := range o.files {
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		delete(o.files, name)
+	}
+	return err
+}

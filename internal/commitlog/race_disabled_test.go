@@ -1,0 +1,5 @@
+//go:build !race
+
+package commitlog
+
+const raceEnabled = false

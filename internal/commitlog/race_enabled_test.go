@@ -1,0 +1,8 @@
+//go:build race
+
+package commitlog
+
+// raceEnabled reports that this test binary was built with -race; the
+// allocation gate skips because the race runtime instruments allocation
+// and sync paths, so "0 allocs steady state" is unmeasurable.
+const raceEnabled = true
