@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 20m . ./broker/ ./metrics/ ./internal/sched/ ./internal/osr/ ./internal/core/
+	$(GO) test -race -timeout 20m . ./shard/ ./broker/ ./metrics/ ./internal/sched/ ./internal/osr/ ./internal/core/
 
 # The fault-injection suite (broker restart/partition/slow-link/reset
 # scenarios over internal/faultnet, plus the commit-log crash-recovery
@@ -64,4 +64,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
 clean:
-	rm -f apcm-lint apcm-lint.json bench-smoke.out bench-ab.out
+	rm -f apcm-lint apcm-lint.json bench-smoke.out bench-ab.out bench-shard.out

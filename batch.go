@@ -62,6 +62,47 @@ func (r *BatchResult) reset(n int) {
 	}
 }
 
+// MergeBatchResults rebuilds dst as the per-event union of parts:
+// event i's merged segment is the concatenation of every part's
+// segment i, in part order. Every part must hold results for the same
+// event batch (equal Len; MergeBatchResults panics otherwise), which is
+// exactly what a shard fan-out produces — each shard matches the whole
+// batch against its partition of the subscription space, and the
+// partitions are disjoint, so concatenation is the union. dst may not
+// be one of parts. Its buffers are reused across calls, so a
+// steady-state caller allocates nothing once capacities settle.
+//
+//apcm:hotpath
+func MergeBatchResults(dst *BatchResult, parts []*BatchResult) {
+	n := 0
+	if len(parts) > 0 {
+		n = parts[0].n
+	}
+	total := 0
+	for _, p := range parts {
+		if p.n != n {
+			panic("apcm: MergeBatchResults over results of different batches")
+		}
+		total += len(p.ids)
+	}
+	dst.reset(n)
+	if cap(dst.ids) < total {
+		dst.ids = make([]expr.ID, 0, total)
+	}
+	dedups := 0
+	for i := 0; i < n; i++ {
+		start := int32(len(dst.ids))
+		for _, p := range parts {
+			dst.ids = append(dst.ids, p.For(i)...)
+		}
+		dst.offs[2*i], dst.offs[2*i+1] = start, int32(len(dst.ids))
+	}
+	for _, p := range parts {
+		dedups += p.dedups
+	}
+	dst.dedups = dedups
+}
+
 // batchSorter sorts a permutation of event indexes into locality order
 // (osr.Less) without sorting the caller's slice. A concrete type instead
 // of sort.SliceStable keeps the sort allocation-free.

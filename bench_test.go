@@ -1,4 +1,4 @@
-// Go benchmarks, one per evaluation table/figure (E1–E18; DESIGN.md §4).
+// Go benchmarks, one per evaluation table/figure (E1–E19; DESIGN.md §4).
 // Each benchmark is the testing.B twin of the corresponding experiment
 // in cmd/apcm-bench: identical workloads at CI-friendly sizes, with
 // events/s reported as a custom metric. Run the binary for the full
@@ -8,14 +8,21 @@
 package apcm_test
 
 import (
+	"bytes"
 	"net"
+	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/broker"
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/osr"
+	"github.com/streammatch/apcm/internal/stats"
 	"github.com/streammatch/apcm/metrics"
+	"github.com/streammatch/apcm/shard"
+	"github.com/streammatch/apcm/trace"
 	"github.com/streammatch/apcm/workload"
 )
 
@@ -495,4 +502,153 @@ func BenchmarkE14BrokerEndToEnd(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// ---- E19: sharded matching tier ---------------------------------------
+
+// envInt reads an integer override from the environment, for CI smoke
+// runs and paper-scale reruns of the same benchmark
+// (APCM_E19_SUBS=1000000 go test -bench E19 -benchtime 1x).
+func envInt(name string, def int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+// benchGroup streams nsubs fresh workload expressions into a group and
+// returns it with a matching event stream. Subscriptions are never
+// materialised as a slice, so paper-scale counts keep setup memory flat.
+func benchGroup(b *testing.B, shards, nsubs, nev int) (*shard.Group, []*expr.Event) {
+	b.Helper()
+	p := benchParams()
+	p.PlantPoolSize = 65536
+	g, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grp, err := shard.New(shard.Options{Shards: shards, Workers: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(grp.Close)
+	for i := 0; i < nsubs; i++ {
+		if err := grp.Subscribe(g.Expression()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	grp.Prepare()
+	return grp, g.Events(nev)
+}
+
+// BenchmarkE19ShardSweep is the testing.B twin of experiment E19: batch
+// match throughput through a shard.Group at each shard count, with the
+// single-event p99 reported alongside. APCM_E19_SUBS overrides the
+// subscription count (default 20000; the committed BENCH_pr7.json runs
+// the full 100k–5M sweep through cmd/apcm-bench).
+func BenchmarkE19ShardSweep(b *testing.B) {
+	nsubs := envInt("APCM_E19_SUBS", 20000)
+	const batch = 256
+	for _, sc := range []int{1, 2, 4, 8, 16} {
+		b.Run("subs="+strconv.Itoa(nsubs)+"/shards="+itoa(sc), func(b *testing.B) {
+			grp, events := benchGroup(b, sc, nsubs, 2000)
+			var r apcm.BatchResult
+			grp.MatchBatchInto(events[:batch], &r) // warm
+			// p99 of the single-event path, sampled before the timed
+			// batch loop so it never perturbs the throughput number.
+			h := stats.NewLatencyHistogram()
+			var dst []expr.ID
+			for i := 0; i < 2000; i++ {
+				ev := events[i%len(events)]
+				t0 := time.Now()
+				dst = grp.MatchAppend(dst[:0], ev)
+				h.AddDuration(time.Since(t0))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % len(events)
+				end := off + batch
+				if end > len(events) {
+					end = len(events)
+				}
+				grp.MatchBatchInto(events[off:end], &r)
+				n += end - off
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(h.Quantile(0.99), "p99-ns")
+		})
+	}
+}
+
+// ---- cold start: LoadSubscriptions ------------------------------------
+
+// BenchmarkLoadSubscriptions measures the cold-start path — restoring a
+// subscription trace into an empty matcher — for a single engine and a
+// 4-shard group (which loads shards in parallel). The trace is built in
+// memory once; every iteration replays it into a fresh instance.
+// APCM_LOAD_SUBS overrides the subscription count (default 100000; set
+// 1000000 for the paper-scale point).
+func BenchmarkLoadSubscriptions(b *testing.B) {
+	nsubs := envInt("APCM_LOAD_SUBS", 100000)
+	p := benchParams()
+	p.PlantPoolSize = 65536
+	g, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, trace.KindExpressions, nsubs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nsubs; i++ {
+		if err := tw.WriteExpression(g.Expression()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	b.Run("subs="+strconv.Itoa(nsubs)+"/engine", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := apcm.New(apcm.Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := e.LoadSubscriptions(bytes.NewReader(data))
+			if err != nil || n != nsubs {
+				b.Fatalf("loaded %d, err %v", n, err)
+			}
+			e.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*nsubs)/b.Elapsed().Seconds(), "subs/s")
+	})
+	b.Run("subs="+strconv.Itoa(nsubs)+"/group=4", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			grp, err := shard.New(shard.Options{Shards: 4, Workers: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := grp.LoadSubscriptions(bytes.NewReader(data))
+			if err != nil || n != nsubs {
+				b.Fatalf("loaded %d, err %v", n, err)
+			}
+			grp.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*nsubs)/b.Elapsed().Seconds(), "subs/s")
+	})
 }

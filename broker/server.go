@@ -10,16 +10,29 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/streammatch/apcm"
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/commitlog"
 	"github.com/streammatch/apcm/metrics"
 )
 
-// Server fronts an Engine over TCP. Create with NewServer, start with
+// Matcher is the engine surface the broker runs against: subscription
+// lifecycle, matching, and checkpointing. Both a single *apcm.Engine
+// and a sharded *shard.Group satisfy it, so a broker scales from one
+// matching engine to a partitioned tier without protocol or handler
+// changes (cmd/apcm-broker selects with -shards).
+type Matcher interface {
+	NewID() expr.ID
+	Subscribe(*expr.Expression) error
+	Unsubscribe(expr.ID) bool
+	Match(*expr.Event) []expr.ID
+	Len() int
+	CheckpointSubscriptions(path string) error
+}
+
+// Server fronts a Matcher over TCP. Create with NewServer, start with
 // Serve, stop with Close (immediate) or Shutdown (graceful drain).
 type Server struct {
-	eng *apcm.Engine
+	eng Matcher
 	// Logf receives connection-level diagnostics; defaults to log.Printf.
 	// Set before Serve.
 	Logf func(format string, args ...any)
@@ -62,7 +75,7 @@ type Server struct {
 	closed    bool
 	ln        net.Listener
 
-	log     *commitlog.Log     // nil without LogDir
+	log     *commitlog.Log // nil without LogDir
 	offsets *commitlog.OffsetStore
 
 	draining          atomic.Bool
@@ -117,7 +130,7 @@ type conn struct {
 
 // NewServer wraps eng. The server takes no ownership: closing the server
 // does not close the engine.
-func NewServer(eng *apcm.Engine) *Server {
+func NewServer(eng Matcher) *Server {
 	return &Server{
 		eng:       eng,
 		Logf:      log.Printf,

@@ -1,5 +1,7 @@
 // Command apcm-bench regenerates the evaluation's tables and figures
-// (experiments E1–E14, see DESIGN.md §4 and EXPERIMENTS.md).
+// (experiments E1–E14, see DESIGN.md §4 and EXPERIMENTS.md), the
+// beyond-paper ablations (E15–E18) and the sharded-tier scaling sweep
+// (E19, tuned with -shards).
 //
 // Usage:
 //
@@ -45,6 +47,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		measure = flag.Duration("measure", 500*time.Millisecond, "minimum measurement time per data point")
 		csv     = flag.Bool("csv", false, "emit tables as CSV")
+		shards  = flag.String("shards", "", "comma-separated shard counts for the E19 sweep (default 1,2,4,8,16)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		allocs  = flag.Bool("allocs", false, "report heap allocation totals per experiment")
@@ -106,6 +109,18 @@ func main() {
 		defer stop()
 	}
 
+	var shardCounts []int
+	if *shards != "" {
+		for _, s := range strings.Split(*shards, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "apcm-bench: bad -shards entry %q\n", s)
+				os.Exit(2)
+			}
+			shardCounts = append(shardCounts, n)
+		}
+	}
+
 	cfg := bench.Config{
 		Out:        os.Stdout,
 		Scale:      *scale,
@@ -113,6 +128,7 @@ func main() {
 		Seed:       *seed,
 		MinMeasure: *measure,
 		CSV:        *csv,
+		Shards:     shardCounts,
 		Metrics:    reg,
 	}
 	fmt.Printf("apcm-bench: %d experiment(s), scale=%.2f workers=%d GOMAXPROCS=%d\n\n",

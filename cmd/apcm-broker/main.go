@@ -15,6 +15,13 @@
 // The monitoring endpoint serves GET /stats (engine and broker counters
 // as JSON) and GET /healthz.
 //
+// -shards N (N > 1) replaces the single engine with a shard.Group of N
+// partitioned engines: subscriptions are hash-routed across shards and
+// every published event fans out to all of them in parallel, scaling
+// the matching tier across cores at large subscription counts. -workers
+// then sizes the fan-out pool rather than the engine's internal one,
+// and /stats gains a per-shard breakdown plus the imbalance ratio.
+//
 // -metrics-addr turns on the full observability layer on a second
 // listener: /metrics (Prometheus text), /metrics.json, /healthz and
 // /debug/pprof/. It carries per-match latency histograms, stream and
@@ -52,14 +59,26 @@ import (
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/internal/commitlog"
 	"github.com/streammatch/apcm/metrics"
+	"github.com/streammatch/apcm/shard"
 	"github.com/streammatch/apcm/trace"
 )
+
+// matcher is the engine surface main drives directly: the broker's
+// Matcher plus lifecycle. Satisfied by both *apcm.Engine and
+// *shard.Group, selected by -shards.
+type matcher interface {
+	broker.Matcher
+	Prepare()
+	RestoreSubscriptions(path string) (int, error)
+	Close()
+}
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":7070", "listen address")
 		algName    = flag.String("algorithm", "apcm", "matching algorithm (apcm, pcm, kindex, betree, counting, scan)")
-		workers    = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "engine or fan-out workers (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "engine shards: >1 partitions subscriptions across a shard.Group")
 		subs       = flag.String("subs", "", "optional subscription trace to pre-load")
 		statsIv    = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 		httpAddr   = flag.String("http", "", "optional HTTP monitoring address (serves /stats and /healthz)")
@@ -89,9 +108,26 @@ func main() {
 	if *metAddr != "" {
 		reg = metrics.New()
 	}
-	eng, err := apcm.New(apcm.Options{Algorithm: alg, Workers: *workers, Metrics: reg})
-	if err != nil {
-		fatal("%v", err)
+	var eng matcher
+	if *shards > 1 {
+		// Sharded tier: fan-out parallelism replaces intra-engine worker
+		// pools (shard engines run single-worker; see shard.Options).
+		g, err := shard.New(shard.Options{
+			Shards:  *shards,
+			Workers: *workers,
+			Engine:  apcm.Options{Algorithm: alg},
+			Metrics: reg,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		eng = g
+	} else {
+		e, err := apcm.New(apcm.Options{Algorithm: alg, Workers: *workers, Metrics: reg})
+		if err != nil {
+			fatal("%v", err)
+		}
+		eng = e
 	}
 	defer eng.Close()
 
@@ -150,7 +186,11 @@ func main() {
 		fmt.Printf("apcm-broker: durable delivery enabled, commit log in %s\n", *logDir)
 	}
 	start := time.Now()
-	fmt.Printf("apcm-broker: %s engine, listening on %s\n", alg, ln.Addr())
+	if *shards > 1 {
+		fmt.Printf("apcm-broker: %s engine × %d shards, listening on %s\n", alg, *shards, ln.Addr())
+	} else {
+		fmt.Printf("apcm-broker: %s engine, listening on %s\n", alg, ln.Addr())
+	}
 
 	if reg != nil {
 		ms := &http.Server{Addr: *metAddr, Handler: metrics.NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
@@ -177,20 +217,12 @@ func main() {
 		})
 		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 			pub, del := srv.Stats()
-			st := eng.Stats()
+			body := engineStats(eng)
+			body["published"] = pub
+			body["delivered"] = del
+			body["uptime_seconds"] = int64(time.Since(start).Seconds())
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(map[string]any{
-				"algorithm":          st.Algorithm.String(),
-				"subscriptions":      st.Subscriptions,
-				"workers":            st.Workers,
-				"mem_bytes":          st.MemBytes,
-				"compiled_clusters":  st.CompiledClusters,
-				"compression_ratio":  st.CompressionRatio,
-				"compressed_serving": st.CompressedServing,
-				"published":          pub,
-				"delivered":          del,
-				"uptime_seconds":     int64(time.Since(start).Seconds()),
-			})
+			json.NewEncoder(w).Encode(body)
 		})
 		hs := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
@@ -206,9 +238,8 @@ func main() {
 		go func() {
 			for range time.Tick(*statsIv) {
 				pub, del := srv.Stats()
-				st := eng.Stats()
 				fmt.Printf("apcm-broker: subs=%d published=%d delivered=%d mem=%dKiB\n",
-					st.Subscriptions, pub, del, st.MemBytes/1024)
+					eng.Len(), pub, del, engineMemBytes(eng)/1024)
 			}
 		}()
 	}
@@ -237,6 +268,56 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		fatal("%v", err)
 	}
+}
+
+// engineStats flattens either engine flavour's Stats into the /stats
+// JSON body. A sharded broker additionally reports the per-shard
+// breakdown and the fan-out imbalance ratio.
+func engineStats(eng matcher) map[string]any {
+	switch e := eng.(type) {
+	case *apcm.Engine:
+		st := e.Stats()
+		return map[string]any{
+			"algorithm":          st.Algorithm.String(),
+			"subscriptions":      st.Subscriptions,
+			"workers":            st.Workers,
+			"mem_bytes":          st.MemBytes,
+			"compiled_clusters":  st.CompiledClusters,
+			"compression_ratio":  st.CompressionRatio,
+			"compressed_serving": st.CompressedServing,
+		}
+	case *shard.Group:
+		st := e.Stats()
+		per := make([]map[string]any, len(st.PerShard))
+		for s, ss := range st.PerShard {
+			per[s] = map[string]any{
+				"subscriptions": ss.Subscriptions,
+				"mem_bytes":     ss.MemBytes,
+				"cost_ns":       ss.CostNs,
+				"events":        ss.Events,
+			}
+		}
+		return map[string]any{
+			"shards":        st.Shards,
+			"strategy":      st.Strategy.String(),
+			"workers":       st.Workers,
+			"subscriptions": st.Subscriptions,
+			"mem_bytes":     st.MemBytes,
+			"imbalance":     st.Imbalance,
+			"per_shard":     per,
+		}
+	}
+	return map[string]any{"subscriptions": eng.Len()}
+}
+
+func engineMemBytes(eng matcher) int64 {
+	switch e := eng.(type) {
+	case *apcm.Engine:
+		return e.Stats().MemBytes
+	case *shard.Group:
+		return e.Stats().MemBytes
+	}
+	return 0
 }
 
 func fatal(format string, args ...any) {

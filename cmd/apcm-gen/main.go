@@ -8,11 +8,21 @@
 //	    -match 0.01 -pool 40 -seed 7
 //
 // writes /tmp/w1.subs (expressions) and /tmp/w1.events (events).
+//
+// Records are generated and written one at a time, so memory stays flat
+// regardless of -n: a 5M-subscription trace for the shard sweeps costs
+// no more resident memory than a 10k one. The plant source for matched
+// events is a bounded reservoir (-plantpool) rather than the full
+// expression history, which is what keeps the event stream O(1) too.
+// -count re-reads both traces after writing and verifies the record
+// counts against what was requested.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,6 +37,7 @@ func main() {
 		n      = flag.Int("n", 100000, "number of expressions")
 		events = flag.Int("events", 10000, "number of events")
 		preds  = flag.String("preds", "5:9", "predicates per expression, min:max")
+		count  = flag.Bool("count", false, "re-read written traces and verify record counts")
 	)
 	flag.Int64Var(&p.Seed, "seed", p.Seed, "generator seed")
 	flag.IntVar(&p.NumAttrs, "attrs", p.NumAttrs, "number of attributes")
@@ -42,11 +53,13 @@ func main() {
 	flag.Float64Var(&p.AttrZipf, "azipf", p.AttrZipf, "attribute Zipf s parameter (0 = uniform, else > 1)")
 	flag.IntVar(&p.EventAttrs, "eventattrs", p.EventAttrs, "attributes per event")
 	flag.Float64Var(&p.MatchFraction, "match", p.MatchFraction, "planted match fraction")
+	plantPool := flag.Int("plantpool", 65536, "planted-event reservoir size (0 = retain every expression; costs O(n) memory)")
 	flag.Parse()
 
 	if _, err := fmt.Sscanf(strings.ReplaceAll(*preds, ":", " "), "%d %d", &p.PredsMin, &p.PredsMax); err != nil {
 		fatal("bad -preds %q (want min:max): %v", *preds, err)
 	}
+	p.PlantPoolSize = *plantPool
 
 	g, err := workload.New(p)
 	if err != nil {
@@ -54,33 +67,93 @@ func main() {
 	}
 
 	fmt.Printf("apcm-gen: generating %d expressions, %d events (seed %d)\n", *n, *events, p.Seed)
-	xs := g.Expressions(*n)
-	evs := g.Events(*events)
-
 	subsPath := *out + ".subs"
-	f, err := os.Create(subsPath)
-	if err != nil {
-		fatal("%v", err)
-	}
-	if err := trace.WriteExpressions(f, xs); err != nil {
-		fatal("writing %s: %v", subsPath, err)
-	}
-	if err := f.Close(); err != nil {
-		fatal("%v", err)
-	}
-
+	writeTrace(subsPath, trace.KindExpressions, *n, func(tw *trace.Writer) error {
+		for i := 0; i < *n; i++ {
+			if err := tw.WriteExpression(g.Expression()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	evPath := *out + ".events"
-	f, err = os.Create(evPath)
+	writeTrace(evPath, trace.KindEvents, *events, func(tw *trace.Writer) error {
+		for i := 0; i < *events; i++ {
+			if err := tw.WriteEvent(g.Event()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	fmt.Printf("apcm-gen: wrote %s and %s\n", subsPath, evPath)
+
+	if *count {
+		verifyCount(subsPath, *n)
+		verifyCount(evPath, *events)
+	}
+}
+
+// writeTrace streams records into path through a buffered writer: the
+// generate callback produces and writes one record at a time, so the
+// process never holds more than one record (plus the generator's
+// bounded plant reservoir) in memory.
+func writeTrace(path string, kind trace.Kind, n int, generate func(*trace.Writer) error) {
+	f, err := os.Create(path)
 	if err != nil {
 		fatal("%v", err)
 	}
-	if err := trace.WriteEvents(f, evs); err != nil {
-		fatal("writing %s: %v", evPath, err)
+	bw := bufio.NewWriterSize(f, 1<<20)
+	tw, err := trace.NewWriter(bw, kind, n)
+	if err != nil {
+		fatal("writing %s: %v", path, err)
+	}
+	if err := generate(tw); err != nil {
+		fatal("writing %s: %v", path, err)
+	}
+	if err := tw.Close(); err != nil {
+		fatal("writing %s: %v", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal("writing %s: %v", path, err)
 	}
 	if err := f.Close(); err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("apcm-gen: wrote %s and %s\n", subsPath, evPath)
+}
+
+// verifyCount re-reads a written trace record by record and checks the
+// count matches what was asked for: a cheap end-to-end sanity pass over
+// the file actually on disk.
+func verifyCount(path string, want int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("count %s: %v", path, err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		fatal("count %s: %v", path, err)
+	}
+	got := 0
+	for {
+		var err error
+		if tr.Kind() == trace.KindExpressions {
+			_, err = tr.ReadExpression()
+		} else {
+			_, err = tr.ReadEvent()
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal("count %s: record %d: %v", path, got, err)
+		}
+		got++
+	}
+	if got != want {
+		fatal("count %s: %d records on disk, want %d", path, got, want)
+	}
+	fmt.Printf("apcm-gen: %s verified, %d records\n", path, got)
 }
 
 func fatal(format string, args ...any) {

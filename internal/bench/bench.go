@@ -37,6 +37,9 @@ type Config struct {
 	MinMeasure time.Duration
 	// CSV emits tables as CSV instead of aligned text.
 	CSV bool
+	// Shards is the shard-count axis of the sharding sweep (E19).
+	// Nil/empty means the default {1, 2, 4, 8, 16}.
+	Shards []int
 	// Metrics, when non-nil, is attached to every engine the experiments
 	// build, so a live scrape endpoint can watch a long run.
 	Metrics *metrics.Registry

@@ -22,8 +22,8 @@ func tinyConfig(out *bytes.Buffer) Config {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for i := 1; i <= 18; i++ {
+	for i := 1; i <= 19; i++ {
 		id := "E" + itoa(i)
 		if _, ok := Get(id); !ok {
 			t.Fatalf("experiment %s missing", id)

@@ -12,6 +12,7 @@ import (
 	"github.com/streammatch/apcm/broker"
 	"github.com/streammatch/apcm/expr"
 	"github.com/streammatch/apcm/metrics"
+	"github.com/streammatch/apcm/shard"
 )
 
 // metricLineRE matches the base of a series or header name: the part
@@ -39,6 +40,17 @@ func TestPrometheusExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.Match(ev)
+
+	// A sharded group on the same registry: its apcm_shard_* namespace
+	// must coexist with the engine's (shard engines themselves register
+	// nothing, so there are no collisions). Exercise it so the fan-out
+	// and merge histograms carry observations.
+	grp := shard.MustNew(shard.Options{Shards: 3, Workers: 2, Metrics: reg})
+	defer grp.Close()
+	if _, err := grp.SubscribePreds(expr.Ge(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	grp.Match(ev)
 
 	// Broker metrics attach when Serve starts; share the registry so the
 	// exposition covers both namespaces at once.
@@ -102,11 +114,32 @@ func TestPrometheusExposition(t *testing.T) {
 		}
 	}
 
-	// Both namespaces must be present: engine instruments and broker
-	// instruments on the same registry.
-	for _, want := range []string{"apcm_match_latency_ns", "apcm_broker_connections"} {
+	// All three namespaces must be present: engine, shard group and
+	// broker instruments on the same registry.
+	for _, want := range []string{
+		"apcm_match_latency_ns",
+		"apcm_broker_connections",
+		"apcm_shard_count",
+		"apcm_shard_imbalance",
+		"apcm_shard_group_subscriptions",
+		"apcm_shard_fanout_latency_ns",
+		"apcm_shard_merge_latency_ns",
+		"apcm_shard_subscriptions",
+		"apcm_shard_mem_bytes",
+		"apcm_shard_cost_ns",
+		"apcm_shard_events_total",
+	} {
 		if !seenType[want] {
 			t.Errorf("expected metric %s missing from exposition (have %d series)", want, len(seenSeries))
+		}
+	}
+	// The per-shard series must carry their shard labels on the wire.
+	for _, want := range []string{
+		`apcm_shard_subscriptions{shard="0"}`,
+		`apcm_shard_events_total{shard="2"}`,
+	} {
+		if !seenSeries[want] {
+			t.Errorf("expected series %s missing from exposition", want)
 		}
 	}
 

@@ -1,0 +1,67 @@
+package shard_test
+
+import (
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/shard"
+)
+
+// Allocation regression gates for the fan-out hot path: a steady-state
+// Group match — fan out to every shard, merge into the caller's buffer —
+// must not allocate, exactly like a single engine's. Same tolerance as
+// the engine's gates: 0.5 allocs/run absorbs the rare sync.Pool refill
+// after a GC cycle empties a job pool mid-run.
+const allocTolerance = 0.5
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race runtime makes sync.Pool drop puts at random; alloc gates only hold on plain builds")
+	}
+}
+
+func allocGroup(tb testing.TB, seed int64, nexprs int) (*shard.Group, []*expr.Event) {
+	tb.Helper()
+	w := testWorkload(seed)
+	// Workers: 1 keeps the fan-out sequential on the calling goroutine so
+	// the gates measure the merge path deterministically on any host.
+	g := shard.MustNew(shard.Options{Shards: 4, Workers: 1})
+	tb.Cleanup(g.Close)
+	subscribeAll(tb, g, w.Expressions(nexprs))
+	g.Prepare()
+	return g, w.Events(256)
+}
+
+func TestGroupMatchSteadyStateZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	g, events := allocGroup(t, 31, 3000)
+	dst := make([]expr.ID, 0, 1024)
+	for _, ev := range events { // warm job pools, scratch, adaptive state
+		dst = g.MatchAppend(dst[:0], ev)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(400, func() {
+		dst = g.MatchAppend(dst[:0], events[i%len(events)])
+		i++
+	})
+	if avg > allocTolerance {
+		t.Fatalf("Group.MatchAppend allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+func TestGroupMatchBatchIntoSteadyStateZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	g, events := allocGroup(t, 37, 3000)
+	var r apcm.BatchResult
+	for i := 0; i < 8; i++ { // warm per-shard results and the merge buffer
+		g.MatchBatchInto(events, &r)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		g.MatchBatchInto(events, &r)
+	})
+	if avg > allocTolerance {
+		t.Fatalf("Group.MatchBatchInto allocates %.2f/op in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package shard_test
+
+// raceEnabled reports that this test binary was built with -race; the
+// allocation gates skip because the race runtime makes sync.Pool drop
+// puts at random, so "0 allocs steady state" is unmeasurable.
+const raceEnabled = true

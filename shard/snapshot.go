@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+)
+
+// Persistence. A group snapshots to the same flat trace format as a
+// single engine — one file, all shards concatenated — so checkpoints
+// move freely between sharded and unsharded deployments (and between
+// groups of different shard counts or strategies: the load side
+// re-routes every subscription under the loading group's own
+// partitioning).
+
+// SaveSubscriptions writes every live subscription across all shards to
+// w as a binary trace, shard by shard. The group's write lock is held
+// for the whole walk, so the snapshot is a consistent cut: no Subscribe
+// or Unsubscribe lands between the declared record count and the
+// records.
+func (g *Group) SaveSubscriptions(w io.Writer) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return apcm.ErrClosed
+	}
+	total := 0
+	for _, e := range g.shards {
+		total += e.Len()
+	}
+	tw, err := trace.NewWriter(w, trace.KindExpressions, total)
+	if err != nil {
+		return err
+	}
+	for _, e := range g.shards {
+		var werr error
+		e.ForEachSubscription(func(x *expr.Expression) bool {
+			werr = tw.WriteExpression(x)
+			return werr == nil
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	return tw.Close()
+}
+
+// CheckpointSubscriptions persists the live subscription set of every
+// shard to path, atomically (see apcm.WriteCheckpoint): a crash at any
+// point leaves either the previous checkpoint or the new one, never a
+// truncated or partial file.
+func (g *Group) CheckpointSubscriptions(path string) error {
+	return apcm.WriteCheckpoint(path, g.SaveSubscriptions)
+}
+
+// RestoreSubscriptions loads the checkpoint at path into the group. A
+// missing file is not an error — a broker booting for the first time
+// has no checkpoint yet — and restores nothing. It returns the number
+// of subscriptions restored.
+func (g *Group) RestoreSubscriptions(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return g.LoadSubscriptions(f)
+}
+
+// loadChanDepth buffers the per-shard subscribe channels so the decode
+// goroutine stays ahead of index insertion.
+const loadChanDepth = 256
+
+// LoadSubscriptions reads a trace written by SaveSubscriptions (either
+// flavour: group or single engine, or by cmd/apcm-gen) and subscribes
+// every expression on its owning shard. Decoding and insertion are
+// pipelined, and the shards insert in parallel — one loader goroutine
+// per shard — which is where the multi-million-subscription cold-start
+// cost goes on multi-core hosts (see BenchmarkLoadSubscriptions). The
+// id allocator is advanced past the largest loaded id so NewID never
+// collides with a restored subscription, also on a partial load. It
+// returns the number of subscriptions loaded; on error, subscriptions
+// loaded before the failure remain subscribed.
+func (g *Group) LoadSubscriptions(r io.Reader) (int, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.closed {
+		return 0, apcm.ErrClosed
+	}
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	if tr.Kind() != trace.KindExpressions {
+		return 0, fmt.Errorf("shard: trace holds %q records, want expressions", tr.Kind())
+	}
+
+	n := len(g.shards)
+	chans := make([]chan *expr.Expression, n)
+	counts := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := range chans {
+		chans[s] = make(chan *expr.Expression, loadChanDepth)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for x := range chans[s] {
+				if errs[s] != nil {
+					continue // drain after failure so the feeder never blocks
+				}
+				if err := g.shards[s].Subscribe(x); err != nil {
+					errs[s] = err
+					continue
+				}
+				counts[s]++
+			}
+		}(s)
+	}
+
+	var maxID expr.ID
+	var rerr error
+	for {
+		x, err := tr.ReadExpression()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rerr = err
+			break
+		}
+		if x.ID > maxID {
+			maxID = x.ID
+		}
+		chans[g.shardOf(x)] <- x
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	loaded := 0
+	for s := range counts {
+		loaded += counts[s]
+		if rerr == nil && errs[s] != nil {
+			rerr = errs[s]
+		}
+	}
+	g.advanceID(maxID)
+	return loaded, rerr
+}

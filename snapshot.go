@@ -50,13 +50,41 @@ func (e *Engine) SaveSubscriptions(w io.Writer) error {
 	return tw.Close()
 }
 
+// ForEachSubscription calls fn for every live subscription, in
+// unspecified order, until fn returns false. The engine's read lock is
+// held for the whole walk: fn must not call back into the engine. On an
+// engine holding DNF groups the walk visits the internal
+// per-conjunction expressions, not the groups.
+func (e *Engine) ForEachSubscription(fn func(*expr.Expression) bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return
+	}
+	if e.cm != nil {
+		e.cm.ForEach(fn)
+		return
+	}
+	e.sm.ForEach(fn)
+}
+
 // CheckpointSubscriptions persists the live subscription set to path,
-// atomically: the trace is written to a temporary file in the same
-// directory, fsynced, and renamed over path, and the directory entry is
-// then fsynced too. A crash — or a Save failure such as an engine
-// holding DNF groups — at any point leaves either the previous
-// checkpoint or the new one, never a truncated or partial file.
+// atomically (see WriteCheckpoint). A crash — or a Save failure such as
+// an engine holding DNF groups — at any point leaves either the
+// previous checkpoint or the new one, never a truncated or partial
+// file.
 func (e *Engine) CheckpointSubscriptions(path string) error {
+	return WriteCheckpoint(path, e.SaveSubscriptions)
+}
+
+// WriteCheckpoint writes a file at path atomically: write streams the
+// content into a temporary file in path's directory, the file is
+// fsynced, renamed over path, and the directory entry fsynced in turn.
+// A crash — or a write failure — at any point leaves either the
+// previous file or the complete new one, never a truncated or partial
+// one. It is the persistence primitive under both
+// Engine.CheckpointSubscriptions and shard.Group.CheckpointSubscriptions.
+func WriteCheckpoint(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".apcm-checkpoint-*")
 	if err != nil {
@@ -68,7 +96,7 @@ func (e *Engine) CheckpointSubscriptions(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("apcm: checkpoint: %w", err)
 	}
-	if err := e.SaveSubscriptions(f); err != nil {
+	if err := write(f); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {

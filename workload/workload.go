@@ -63,6 +63,18 @@ type Params struct {
 	// Planted events give the workload a controllable match rate; purely
 	// random events in a large space match almost nothing.
 	MatchFraction float64
+
+	// PlantPoolSize bounds how many generated expressions are retained as
+	// plant sources for events. 0 retains every expression — exact
+	// uniform planting, O(generated) memory. A positive bound keeps a
+	// uniform reservoir sample of that size instead, making generation
+	// O(PlantPoolSize) in memory regardless of how many expressions are
+	// streamed (cmd/apcm-gen relies on this for multi-million-
+	// subscription traces). The reservoir uses its own RNG, so for a
+	// fixed Seed the expression stream is bit-identical whether or not
+	// the pool is bounded; planted events stay statistically equivalent
+	// but draw from the sample rather than the full history.
+	PlantPoolSize int
 }
 
 // Default returns the canonical workload from DESIGN.md: 400 attributes,
@@ -114,6 +126,8 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("workload: MatchFraction %f out of [0,1]", p.MatchFraction)
 	case p.PredPoolSize < 0:
 		return fmt.Errorf("workload: PredPoolSize must be non-negative")
+	case p.PlantPoolSize < 0:
+		return fmt.Errorf("workload: PlantPoolSize must be non-negative")
 	}
 	return nil
 }
@@ -129,8 +143,14 @@ type Generator struct {
 	nextID    expr.ID
 
 	// exprs records generated expressions so planted events can be
-	// derived from them.
-	exprs []*expr.Expression
+	// derived from them: the full history unbounded, or a uniform
+	// reservoir sample of PlantPoolSize. plantRng drives the reservoir's
+	// keep/evict decisions on its own stream so bounding the pool never
+	// perturbs the main rng, and seen counts recorded expressions for
+	// the reservoir's acceptance probability.
+	exprs    []*expr.Expression
+	plantRng *rand.Rand
+	seen     int64
 }
 
 // New validates p and returns a Generator for it.
@@ -147,6 +167,11 @@ func New(p Params) (*Generator, error) {
 	}
 	if p.PredPoolSize > 0 {
 		g.pool = make(map[expr.AttrID][]expr.Predicate)
+	}
+	if p.PlantPoolSize > 0 {
+		// A fixed xor keeps the reservoir stream distinct from — and
+		// independent of — the main stream at every seed.
+		g.plantRng = rand.New(rand.NewSource(p.Seed ^ 0x5ee0f9bd1c3a7e42))
 	}
 	return g, nil
 }
@@ -273,8 +298,28 @@ func (g *Generator) Expression() *expr.Expression {
 		panic(fmt.Sprintf("workload: generated invalid expression: %v", err))
 	}
 	g.nextID++
-	g.exprs = append(g.exprs, x)
+	g.record(x)
 	return x
+}
+
+// record adds x to the plant source: the full history when the pool is
+// unbounded, otherwise a classic reservoir sample — the first
+// PlantPoolSize expressions fill the pool, every later one replaces a
+// uniformly chosen slot with probability PlantPoolSize/seen, keeping
+// the pool a uniform sample of everything generated so far.
+func (g *Generator) record(x *expr.Expression) {
+	if g.plantRng == nil {
+		g.exprs = append(g.exprs, x)
+		return
+	}
+	g.seen++
+	if len(g.exprs) < g.p.PlantPoolSize {
+		g.exprs = append(g.exprs, x)
+		return
+	}
+	if k := g.plantRng.Int63n(g.seen); k < int64(len(g.exprs)) {
+		g.exprs[k] = x
+	}
 }
 
 // Expressions generates n expressions.
@@ -406,8 +451,9 @@ func (g *Generator) satisfyOne(p *expr.Predicate) (expr.Value, bool) {
 	}
 }
 
-// GeneratedExpressions returns all expressions generated so far. Callers
-// must treat the slice as read-only; it is the plant source for events.
+// GeneratedExpressions returns the plant source: all expressions
+// generated so far, or the current reservoir sample when PlantPoolSize
+// bounds it. Callers must treat the slice as read-only.
 func (g *Generator) GeneratedExpressions() []*expr.Expression { return g.exprs }
 
 // PlantedEventFor builds an event that satisfies x (padded with random
