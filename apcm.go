@@ -327,6 +327,61 @@ func (e *Engine) Subscribe(x *expr.Expression) error {
 	return err
 }
 
+// SubscribeBulk indexes xs, returning the number of expressions
+// subscribed and the first error. Expressions are inserted in order and
+// insertion stops at the first failure: xs[:n] are subscribed, xs[n:]
+// are not. One write lock covers the whole batch and compiled clusters
+// absorb the batch in one step where possible, so bulk restores (see
+// LoadSubscriptions) pay per-batch rather than per-subscription
+// synchronisation. With Options.Normalize each expression is
+// canonicalised first; an unsatisfiable one stops the batch with
+// ErrUnsatisfiable.
+func (e *Engine) SubscribeBulk(xs []*expr.Expression) (int, error) {
+	if e.opts.Normalize {
+		nxs := make([]*expr.Expression, 0, len(xs))
+		for _, x := range xs {
+			nx, ok := x.Normalize()
+			if !ok {
+				n, err := e.subscribeBulk(nxs)
+				if err == nil {
+					err = ErrUnsatisfiable
+				}
+				return n, err
+			}
+			nxs = append(nxs, nx)
+		}
+		xs = nxs
+	}
+	return e.subscribeBulk(xs)
+}
+
+func (e *Engine) subscribeBulk(xs []*expr.Expression) (int, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	var n int
+	var err error
+	if e.cm != nil {
+		n, err = e.cm.InsertBulk(xs)
+	} else {
+		for n < len(xs) {
+			if err = e.sm.Insert(xs[n]); err != nil {
+				break
+			}
+			n++
+		}
+	}
+	if n > 0 && e.met != nil {
+		e.met.subscribes.Add(int64(n))
+	}
+	return n, err
+}
+
 // SubscribePreds builds an expression from preds under a fresh id and
 // indexes it, returning the id.
 func (e *Engine) SubscribePreds(preds ...expr.Predicate) (expr.ID, error) {
@@ -565,6 +620,13 @@ func (e *Engine) Prepare() {
 	if e.closed || e.cm == nil {
 		return
 	}
+	if e.pool != nil {
+		// Clusters compile independently into private arenas, so fan the
+		// compilations across the worker pool — after a bulk restore this
+		// is the dominant remaining cold-start cost.
+		e.cm.PrepareAllWith(e.pool.Run)
+		return
+	}
 	e.cm.PrepareAll()
 }
 
@@ -575,6 +637,9 @@ type Stats struct {
 	Workers          int
 	MemBytes         int64
 	CompiledClusters int
+	// ArenaBytes is the total backing size of compiled-cluster arenas
+	// (the apcm_arena_bytes gauge; compressed matchers only).
+	ArenaBytes int64
 	// CompressionRatio is predicate slots per dictionary entry across
 	// compiled clusters (0 for baselines).
 	CompressionRatio float64
@@ -632,6 +697,7 @@ func (e *Engine) Stats() Stats {
 		st.MemBytes = e.cm.MemBytes()
 		cs := e.cm.Stats()
 		st.CompiledClusters = cs.CompiledClusters
+		st.ArenaBytes = cs.ArenaBytes
 		st.CompressionRatio = cs.CompressionRatio()
 		st.CompressedServing = cs.CompressedServing
 		st.Probes = cs.Probes

@@ -635,6 +635,24 @@ func BenchmarkLoadSubscriptions(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(b.N*nsubs)/b.Elapsed().Seconds(), "subs/s")
 	})
+	// The plain one-Subscribe-per-record loop, kept as the cold-start
+	// baseline the optimized restore is measured against (E20).
+	b.Run("subs="+strconv.Itoa(nsubs)+"/engine-sequential", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := apcm.New(apcm.Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := e.LoadSubscriptionsSequential(bytes.NewReader(data))
+			if err != nil || n != nsubs {
+				b.Fatalf("loaded %d, err %v", n, err)
+			}
+			e.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*nsubs)/b.Elapsed().Seconds(), "subs/s")
+	})
 	b.Run("subs="+strconv.Itoa(nsubs)+"/group=4", func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomExpression builds an arbitrary valid expression for the slab
+// differential suites.
+func randomExpression(rng *rand.Rand, id ID) *Expression {
+	n := rng.Intn(6) + 1
+	preds := make([]Predicate, n)
+	for i := range preds {
+		preds[i] = randomPredicate(rng, 12, 60)
+	}
+	return MustNew(id, preds...)
+}
+
+func sameExpression(t *testing.T, want, got *Expression) {
+	t.Helper()
+	if got.ID != want.ID || len(got.Preds) != len(want.Preds) {
+		t.Fatalf("expression mismatch: %s vs %s", want, got)
+	}
+	for i := range want.Preds {
+		if !got.Preds[i].Equal(&want.Preds[i]) {
+			t.Fatalf("predicate %d mismatch: %s vs %s",
+				i, want.Preds[i].String(), got.Preds[i].String())
+		}
+	}
+}
+
+// TestSlabDecoderDifferential: SlabDecoder.Decode must agree with
+// DecodeExpression — same expression, same consumed length — on every
+// valid encoding; only the storage discipline may differ.
+func TestSlabDecoderDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var dec SlabDecoder
+	for i := 0; i < 5000; i++ {
+		x := randomExpression(rng, ID(i+1))
+		buf := AppendExpression(nil, x)
+		want, wn, werr := DecodeExpression(buf)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		got, gn, gerr := dec.Decode(buf)
+		if gerr != nil {
+			t.Fatalf("slab decode of %s: %v", x, gerr)
+		}
+		if gn != wn {
+			t.Fatalf("slab decode consumed %d bytes, DecodeExpression %d", gn, wn)
+		}
+		sameExpression(t, want, got)
+	}
+}
+
+// TestSlabDecoderTruncated: every strict prefix of a valid encoding
+// must fail (or truncate the predicate list into an invalid state) in
+// both decoders identically — same error-ness and, on success paths,
+// the same consumed length. This pins the slab decoder's bounds checks
+// to the reference implementation's.
+func TestSlabDecoderTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var dec SlabDecoder
+	for i := 0; i < 300; i++ {
+		x := randomExpression(rng, ID(i+1))
+		full := AppendExpression(nil, x)
+		for cut := 0; cut < len(full); cut++ {
+			_, _, werr := DecodeExpression(full[:cut])
+			_, _, gerr := dec.Decode(full[:cut])
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("cut %d of %d: DecodeExpression err=%v, slab err=%v",
+					cut, len(full), werr, gerr)
+			}
+		}
+	}
+}
+
+// TestSlabDecoderStability: slab blocks are append-only and never
+// reallocated, so every expression the decoder has ever returned stays
+// intact as later records decode. A regression here means a block grew
+// in place and stale pointers now alias fresh data.
+func TestSlabDecoderStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var dec SlabDecoder
+	type pair struct {
+		live *Expression
+		snap *Expression // deep copy taken at decode time
+	}
+	var all []pair
+	for i := 0; i < 20000; i++ {
+		x := randomExpression(rng, ID(i+1))
+		got, _, err := dec.Decode(AppendExpression(nil, x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := make([]Predicate, len(got.Preds))
+		copy(preds, got.Preds)
+		for j := range preds {
+			if preds[j].Set != nil {
+				preds[j].Set = append([]Value(nil), preds[j].Set...)
+			}
+		}
+		all = append(all, pair{live: got, snap: &Expression{ID: got.ID, Preds: preds}})
+	}
+	for _, p := range all {
+		sameExpression(t, p.snap, p.live)
+	}
+}
+
+// TestSlabDecoderErrorRollback: a record that fails mid-decode must not
+// leak partial predicates into the slabs — the next successful decode
+// sees a clean state.
+func TestSlabDecoderErrorRollback(t *testing.T) {
+	var dec SlabDecoder
+	good := MustNew(1, Eq(1, 5), Any(2, 1, 9, 17))
+	bad := AppendExpression(nil, MustNew(2, Eq(1, 5), Rng(3, -4, 4)))
+	for cut := 3; cut < len(bad); cut++ {
+		if _, _, err := dec.Decode(bad[:cut]); err == nil {
+			continue
+		}
+		got, _, err := dec.Decode(AppendExpression(nil, good))
+		if err != nil {
+			t.Fatalf("decode after failed record (cut %d): %v", cut, err)
+		}
+		sameExpression(t, good, got)
+	}
+}
+
+func TestPropSlabDecoderQuick(t *testing.T) {
+	var dec SlabDecoder
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			x := randomExpression(rng, ID(rng.Intn(1<<30)+1))
+			buf := AppendExpression(nil, x)
+			want, wn, werr := DecodeExpression(buf)
+			got, gn, gerr := dec.Decode(buf)
+			if werr != nil || gerr != nil || wn != gn {
+				return false
+			}
+			if got.ID != want.ID || len(got.Preds) != len(want.Preds) {
+				return false
+			}
+			for j := range want.Preds {
+				if !got.Preds[j].Equal(&want.Preds[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,8 +22,8 @@ func tinyConfig(out *bytes.Buffer) Config {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {

@@ -23,6 +23,7 @@ package betree
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/streammatch/apcm/expr"
 )
@@ -75,23 +76,184 @@ func (p *Pool) remove(id expr.ID) bool {
 }
 
 type node struct {
-	pool  Pool
-	parts map[expr.AttrID]*partition
+	pool Pool
+	// parts is sorted by partition attribute. The descent visits it with
+	// a merge-join against the event's sorted pair list, and inserts
+	// binary-search it — a map here cost a hash probe per event pair per
+	// visited node, which the E1 profile put among the hottest
+	// instructions in the whole match path.
+	parts []*partition
 	// splitFailAt remembers the pool size at the last failed split
 	// attempt, so degenerate pools do not rescore on every insert.
 	splitFailAt int
 }
 
-type partition struct {
-	attr expr.AttrID
-	eq   map[expr.Value]*node
-	root *cnode // range-cluster tree over the full domain
+// part returns the partition on attr, or nil.
+func (n *node) part(a expr.AttrID) *partition {
+	lo, hi := 0, len(n.parts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.parts[mid].attr < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.parts) && n.parts[lo].attr == a {
+		return n.parts[lo]
+	}
+	return nil
 }
 
+// addPart inserts part keeping n.parts sorted by attribute.
+func (n *node) addPart(part *partition) {
+	i := len(n.parts)
+	n.parts = append(n.parts, part)
+	for i > 0 && n.parts[i-1].attr > part.attr {
+		n.parts[i] = n.parts[i-1]
+		i--
+	}
+	n.parts[i] = part
+}
+
+type partition struct {
+	attr expr.AttrID
+	eq   eqTable // value → equality-bucket node
+	root *cnode  // range-cluster tree over the full domain
+}
+
+// eqTable is an open-addressed value→node table. The descent performs
+// exactly one lookup per (event pair, partition) visit, and the Go map
+// it replaces spent more time in hash plumbing than the rest of the
+// node visit combined; a flat power-of-two table with Fibonacci
+// hashing and linear probing makes the common case one multiply and a
+// couple of probes over contiguous memory. Key and pointer live in one
+// entry so a probe touches a single cache line, and occupancy is kept
+// at or below half so the expected probe count of a *miss* — the
+// common outcome, most event values have no equality bucket — stays
+// around two. Buckets are never deleted (empty equality buckets
+// persist until their node is garbage), which keeps probing
+// tombstone-free.
+type eqTable struct {
+	entries []eqEntry
+	n       int
+	shift   uint32 // 32 - log2(len), for the multiplicative hash
+}
+
+type eqEntry struct {
+	val expr.Value
+	n   *node // nil marks an empty slot
+}
+
+func (t *eqTable) get(v expr.Value) *node {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint32(len(t.entries) - 1)
+	i := (uint32(v) * 2654435769) >> t.shift
+	for {
+		e := &t.entries[i]
+		if e.n == nil || e.val == v {
+			return e.n
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put inserts a new key. The caller has already checked get(v) == nil.
+func (t *eqTable) put(v expr.Value, nd *node) {
+	if 2*(t.n+1) > len(t.entries) {
+		t.grow()
+	}
+	mask := uint32(len(t.entries) - 1)
+	i := (uint32(v) * 2654435769) >> t.shift
+	for t.entries[i].n != nil {
+		i = (i + 1) & mask
+	}
+	t.entries[i] = eqEntry{val: v, n: nd}
+	t.n++
+}
+
+func (t *eqTable) grow() {
+	size := 8
+	if len(t.entries) > 0 {
+		size = 2 * len(t.entries)
+	}
+	old := t.entries
+	t.entries = make([]eqEntry, size)
+	t.shift = 32 - uint32(bits.TrailingZeros(uint(size)))
+	t.n = 0
+	for _, e := range old {
+		if e.n != nil {
+			t.put(e.val, e.n)
+		}
+	}
+}
+
+// each visits every bucket node.
+func (t *eqTable) each(fn func(*node)) {
+	for _, e := range t.entries {
+		if e.n != nil {
+			fn(e.n)
+		}
+	}
+}
+
+// cnode is a node of a partition's range-cluster tree. The tree is
+// *path-compressed*: the halving descent only ever produces canonical
+// dyadic ranges (each depth-d range is one of the 2^d aligned
+// 2^(32-d)-wide slices of the biased value domain), so a chain of
+// empty intermediate halvings carries no information and is never
+// materialised. A cnode exists only if it rests expressions (n != nil)
+// or branches two materialised subtrees; left/right point at the
+// nearest materialised descendant inside the lower/upper half, at any
+// depth. Before compression the event walk chased up to
+// MaxClusterDepth pointers per (pair, partition) — almost all of them
+// cache-missing empty intermediates; the E1 profile showed that chain
+// walk as the single hottest loop in the match path.
 type cnode struct {
 	lo, hi      expr.Value
 	n           *node
 	left, right *cnode
+}
+
+// biased maps a value to its order-preserving unsigned image, in which
+// canonical halving ranges are aligned power-of-two slices.
+func biased(v expr.Value) uint32 { return uint32(v) ^ 0x80000000 }
+
+func unbiased(u uint32) expr.Value { return expr.Value(u ^ 0x80000000) }
+
+// dyadicTarget returns the range a span [lo,hi] (lo < hi) rests at:
+// the deepest canonical range containing it, at most maxDepth halvings
+// below the full domain. This is exactly where the uncompressed
+// descent stopped — it halved while the span fit in a half, i.e. while
+// the biased endpoints shared another leading bit.
+func dyadicTarget(lo, hi expr.Value, maxDepth int) (expr.Value, expr.Value) {
+	a, b := biased(lo), biased(hi)
+	d := bits.LeadingZeros32(a ^ b)
+	if d > maxDepth {
+		d = maxDepth
+	}
+	if d == 0 {
+		return expr.MinValue, expr.MaxValue
+	}
+	shift := uint(32 - d)
+	tlo := a >> shift << shift
+	mask := uint32(1)<<shift - 1
+	return unbiased(tlo), unbiased(tlo | mask)
+}
+
+// dyadicLCA returns the deepest canonical range containing two
+// disjoint canonical ranges, given their lower bounds.
+func dyadicLCA(l1, l2 expr.Value) (expr.Value, expr.Value) {
+	a, b := biased(l1), biased(l2)
+	shift := uint(32 - bits.LeadingZeros32(a^b))
+	if shift >= 32 {
+		return expr.MinValue, expr.MaxValue
+	}
+	tlo := a >> shift << shift
+	mask := uint32(1)<<shift - 1
+	return unbiased(tlo), unbiased(tlo | mask)
 }
 
 // Tree is a BE-Tree. Not safe for concurrent mutation; concurrent
@@ -165,7 +327,7 @@ func (t *Tree) insert(n *node, x *expr.Expression, u *used) {
 			if !p.Indexable() || u.has(p.Attr) {
 				continue
 			}
-			if part, ok := n.parts[p.Attr]; ok {
+			if part := n.part(p.Attr); part != nil {
 				t.insertIntoPartition(part, x, u)
 				return
 			}
@@ -202,32 +364,58 @@ func (t *Tree) insertIntoPartition(part *partition, x *expr.Expression, u *used)
 	u2 := &used{attr: part.attr, prev: u}
 	lo, hi := p.Span()
 	if lo == hi {
-		bn := part.eq[lo]
+		bn := part.eq.get(lo)
 		if bn == nil {
 			bn = &node{}
 			t.numNodes++
-			part.eq[lo] = bn
+			part.eq.put(lo, bn)
 		}
 		t.insert(bn, x, u2)
 		return
 	}
+	// Descend the compressed tree toward the span's resting range,
+	// materialising at most two cnodes (a branch point and the target).
+	tlo, thi := dyadicTarget(lo, hi, t.cfg.MaxClusterDepth)
 	c := part.root
-	for depth := 0; depth < t.cfg.MaxClusterDepth; depth++ {
-		mid := midpoint(c.lo, c.hi)
-		if hi <= mid {
-			if c.left == nil {
-				c.left = &cnode{lo: c.lo, hi: mid}
-				t.numCnodes++
+	for c.lo != tlo || c.hi != thi {
+		// The target is strictly inside c: pick the half it lies in.
+		link := &c.left
+		if thi > midpoint(c.lo, c.hi) {
+			link = &c.right
+		}
+		d := *link
+		switch {
+		case d == nil:
+			// Empty half: the target becomes its materialised root.
+			c = &cnode{lo: tlo, hi: thi}
+			t.numCnodes++
+			*link = c
+		case d.lo <= tlo && thi <= d.hi:
+			// Target at or below d: keep walking.
+			c = d
+		case tlo <= d.lo && d.hi <= thi:
+			// d below the target: splice the target in above it.
+			c = &cnode{lo: tlo, hi: thi}
+			t.numCnodes++
+			if d.hi <= midpoint(tlo, thi) {
+				c.left = d
+			} else {
+				c.right = d
 			}
-			c = c.left
-		} else if lo > mid {
-			if c.right == nil {
-				c.right = &cnode{lo: mid + 1, hi: c.hi}
-				t.numCnodes++
+			*link = c
+		default:
+			// Disjoint: branch at their lowest common canonical range,
+			// which holds them on opposite sides.
+			blo, bhi := dyadicLCA(d.lo, tlo)
+			br := &cnode{lo: blo, hi: bhi}
+			c = &cnode{lo: tlo, hi: thi}
+			t.numCnodes += 2
+			if thi <= midpoint(blo, bhi) {
+				br.left, br.right = c, d
+			} else {
+				br.left, br.right = d, c
 			}
-			c = c.right
-		} else {
-			break // span straddles the midpoint; rest here
+			*link = br
 		}
 	}
 	if c.n == nil {
@@ -254,14 +442,10 @@ func (t *Tree) split(n *node, u *used) {
 		}
 		part := &partition{
 			attr: attr,
-			eq:   make(map[expr.Value]*node),
 			root: &cnode{lo: expr.MinValue, hi: expr.MaxValue},
 		}
 		t.numCnodes++
-		if n.parts == nil {
-			n.parts = make(map[expr.AttrID]*partition)
-		}
-		n.parts[attr] = part
+		n.addPart(part)
 		t.numParts++
 
 		// Move covered expressions out of the pool.
@@ -306,7 +490,7 @@ func (t *Tree) choosePartitionAttr(n *node, u *used) (expr.AttrID, int) {
 			if u.has(p.Attr) {
 				continue
 			}
-			if _, exists := n.parts[p.Attr]; exists {
+			if n.part(p.Attr) != nil {
 				// A partition already exists here; expressions with this
 				// attribute were routed at insert time, so re-counting it
 				// would recreate it uselessly.
@@ -371,23 +555,31 @@ func (t *Tree) visit(n *node, e *expr.Event, fn func(*Pool)) {
 	if len(n.parts) == 0 {
 		return
 	}
-	for _, pair := range e.Pairs() {
-		part, ok := n.parts[pair.Attr]
-		if !ok {
-			continue
-		}
-		if bn := part.eq[pair.Val]; bn != nil {
-			t.visit(bn, e, fn)
-		}
-		for c := part.root; c != nil; {
-			if c.n != nil {
-				t.visit(c.n, e, fn)
+	// Both the event's pairs and the node's partitions are sorted by
+	// attribute: merge-join instead of a map probe per pair.
+	pairs, parts := e.Pairs(), n.parts
+	for i, j := 0, 0; i < len(pairs) && j < len(parts); {
+		switch a, b := pairs[i].Attr, parts[j].attr; {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			part, val := parts[j], pairs[i].Val
+			i++
+			j++
+			if bn := part.eq.get(val); bn != nil {
+				t.visit(bn, e, fn)
 			}
-			mid := midpoint(c.lo, c.hi)
-			if pair.Val <= mid {
-				c = c.left
-			} else {
-				c = c.right
+			for c := part.root; c != nil && val >= c.lo && val <= c.hi; {
+				if c.n != nil {
+					t.visit(c.n, e, fn)
+				}
+				if val <= midpoint(c.lo, c.hi) {
+					c = c.left
+				} else {
+					c = c.right
+				}
 			}
 		}
 	}
@@ -401,6 +593,7 @@ func (t *Tree) CollectPoolsAppend(dst []*Pool, e *expr.Event) []*Pool {
 	return t.collect(t.root, e, dst)
 }
 
+//apcm:hotpath
 func (t *Tree) collect(n *node, e *expr.Event, dst []*Pool) []*Pool {
 	if len(n.pool.Exprs) > 0 {
 		dst = append(dst, &n.pool)
@@ -408,23 +601,30 @@ func (t *Tree) collect(n *node, e *expr.Event, dst []*Pool) []*Pool {
 	if len(n.parts) == 0 {
 		return dst
 	}
-	for _, pair := range e.Pairs() {
-		part, ok := n.parts[pair.Attr]
-		if !ok {
-			continue
-		}
-		if bn := part.eq[pair.Val]; bn != nil {
-			dst = t.collect(bn, e, dst)
-		}
-		for c := part.root; c != nil; {
-			if c.n != nil {
-				dst = t.collect(c.n, e, dst)
+	// Merge-join of the sorted pair and partition lists; see visit.
+	pairs, parts := e.Pairs(), n.parts
+	for i, j := 0, 0; i < len(pairs) && j < len(parts); {
+		switch a, b := pairs[i].Attr, parts[j].attr; {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			part, val := parts[j], pairs[i].Val
+			i++
+			j++
+			if bn := part.eq.get(val); bn != nil {
+				dst = t.collect(bn, e, dst)
 			}
-			mid := midpoint(c.lo, c.hi)
-			if pair.Val <= mid {
-				c = c.left
-			} else {
-				c = c.right
+			for c := part.root; c != nil && val >= c.lo && val <= c.hi; {
+				if c.n != nil {
+					dst = t.collect(c.n, e, dst)
+				}
+				if val <= midpoint(c.lo, c.hi) {
+					c = c.left
+				} else {
+					c = c.right
+				}
 			}
 		}
 	}
@@ -459,9 +659,7 @@ func (t *Tree) pools(n *node, fn func(*Pool)) {
 		fn(&n.pool)
 	}
 	for _, part := range n.parts {
-		for _, bn := range part.eq {
-			t.pools(bn, fn)
-		}
+		part.eq.each(func(bn *node) { t.pools(bn, fn) })
 		var walk func(*cnode)
 		walk = func(c *cnode) {
 			if c == nil {

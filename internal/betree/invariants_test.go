@@ -16,7 +16,10 @@ import (
 //   - expressions in a range-cluster node have a span contained in the
 //     node's range;
 //   - the location map points exactly at the pools holding each id;
-//   - sibling cluster ranges are disjoint halves of their parent.
+//   - every cluster range is a canonical dyadic interval and children
+//     lie in opposite halves of their parent (the tree is
+//     path-compressed, so a child may sit several dyadic levels below
+//     its parent, but never outside the parent's half).
 func checkInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
 	seen := make(map[expr.ID]*node)
@@ -39,11 +42,15 @@ func checkInvariants(t *testing.T, tr *Tree) {
 				}
 			}
 		}
-		for attr, part := range n.parts {
-			if part.attr != attr {
-				t.Fatalf("partition key %d disagrees with partition attr %d", attr, part.attr)
+		for pi, part := range n.parts {
+			attr := part.attr
+			if pi > 0 && n.parts[pi-1].attr >= attr {
+				t.Fatalf("partitions out of order: attr %d before %d", n.parts[pi-1].attr, attr)
 			}
-			for v, bn := range part.eq {
+			if n.part(attr) != part {
+				t.Fatalf("partition lookup for attr %d misses its own entry", attr)
+			}
+			part.eq.each(func(bn *node) {
 				for _, x := range bn.pool.Exprs {
 					p := bestPredOn(x, attr)
 					if p == nil {
@@ -52,9 +59,8 @@ func checkInvariants(t *testing.T, tr *Tree) {
 				}
 				// Recurse with the value check one level down only: deeper
 				// pools may have been routed by other attributes.
-				_ = v
 				walkNode(bn, append(path, attr))
-			}
+			})
 			if part.root != nil {
 				if part.root.lo != expr.MinValue || part.root.hi != expr.MaxValue {
 					t.Fatalf("cluster root range [%d,%d] is not the full domain", part.root.lo, part.root.hi)
@@ -68,16 +74,21 @@ func checkInvariants(t *testing.T, tr *Tree) {
 		if c.lo > c.hi {
 			t.Fatalf("empty cluster range [%d,%d]", c.lo, c.hi)
 		}
+		blo, bhi := uint32(c.lo)^0x80000000, uint32(c.hi)^0x80000000
+		size := uint64(bhi) - uint64(blo) + 1
+		if size&(size-1) != 0 || uint64(blo)%size != 0 {
+			t.Fatalf("cluster range [%d,%d] is not a canonical dyadic interval", c.lo, c.hi)
+		}
 		mid := midpoint(c.lo, c.hi)
 		if c.left != nil {
-			if c.left.lo != c.lo || c.left.hi != mid {
-				t.Fatalf("left child [%d,%d] is not the lower half of [%d,%d]", c.left.lo, c.left.hi, c.lo, c.hi)
+			if c.left.lo < c.lo || c.left.hi > mid {
+				t.Fatalf("left child [%d,%d] outside the lower half of [%d,%d]", c.left.lo, c.left.hi, c.lo, c.hi)
 			}
 			walkCnode(part, c.left, path)
 		}
 		if c.right != nil {
-			if c.right.lo != mid+1 || c.right.hi != c.hi {
-				t.Fatalf("right child [%d,%d] is not the upper half of [%d,%d]", c.right.lo, c.right.hi, c.lo, c.hi)
+			if c.right.lo <= mid || c.right.hi > c.hi {
+				t.Fatalf("right child [%d,%d] outside the upper half of [%d,%d]", c.right.lo, c.right.hi, c.lo, c.hi)
 			}
 			walkCnode(part, c.right, path)
 		}

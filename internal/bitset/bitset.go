@@ -53,6 +53,16 @@ func View(words []uint64, n int) *Bitset {
 	return &Bitset{words: words, n: n}
 }
 
+// InitView points an existing Bitset value at words without allocating:
+// the in-place flavour of View, used by the cluster arena to initialize
+// a slab of Bitset structs over sub-slices of one backing array.
+func (b *Bitset) InitView(words []uint64, n int) {
+	if len(words) != wordsFor(n) {
+		panic("bitset: InitView length does not match capacity")
+	}
+	b.words, b.n = words, n
+}
+
 func wordsFor(n int) int { return (n + wordBits - 1) >> wordShift }
 
 // Len returns the capacity in bits.
@@ -110,23 +120,7 @@ func (b *Bitset) trim() {
 //
 //apcm:hotpath
 func (b *Bitset) Count() int {
-	c := 0
-	w := b.words
-	// Four-wide unroll: popcounts have no cross-iteration dependency, so
-	// splitting the accumulator lets the CPU retire several per cycle.
-	var c0, c1, c2, c3 int
-	i := 0
-	for ; i+4 <= len(w); i += 4 {
-		c0 += bits.OnesCount64(w[i])
-		c1 += bits.OnesCount64(w[i+1])
-		c2 += bits.OnesCount64(w[i+2])
-		c3 += bits.OnesCount64(w[i+3])
-	}
-	c = c0 + c1 + c2 + c3
-	for ; i < len(w); i++ {
-		c += bits.OnesCount64(w[i])
-	}
-	return c
+	return popcntWords(b.words)
 }
 
 // None reports whether no bits are set.
@@ -148,11 +142,7 @@ func (b *Bitset) Any() bool { return !b.None() }
 //
 //apcm:hotpath
 func (b *Bitset) And(other *Bitset) {
-	bw := b.words
-	ow := other.words[:len(bw)]
-	for i := range bw {
-		bw[i] &= ow[i]
-	}
+	andWords(b.words, other.words)
 }
 
 // AndNot sets b = b AND NOT other in place. This is the kernel of
@@ -161,28 +151,7 @@ func (b *Bitset) And(other *Bitset) {
 //
 //apcm:hotpath
 func (b *Bitset) AndNot(other *Bitset) bool {
-	var a0, a1, a2, a3 uint64
-	bw := b.words
-	ow := other.words[:len(bw)]
-	i := 0
-	// Four-wide unroll with split accumulators: the emptiness OR-chain is
-	// otherwise a serial dependency through every word.
-	for ; i+4 <= len(bw); i += 4 {
-		w0 := bw[i] &^ ow[i]
-		w1 := bw[i+1] &^ ow[i+1]
-		w2 := bw[i+2] &^ ow[i+2]
-		w3 := bw[i+3] &^ ow[i+3]
-		bw[i], bw[i+1], bw[i+2], bw[i+3] = w0, w1, w2, w3
-		a0 |= w0
-		a1 |= w1
-		a2 |= w2
-		a3 |= w3
-	}
-	for ; i < len(bw); i++ {
-		bw[i] &^= ow[i]
-		a0 |= bw[i]
-	}
-	return a0|a1|a2|a3 == 0
+	return andNotWords(b.words, other.words) == 0
 }
 
 // AndUnion sets b = b AND (sat OR NOT mask) in place: a member survives
@@ -192,38 +161,14 @@ func (b *Bitset) AndNot(other *Bitset) bool {
 //
 //apcm:hotpath
 func (b *Bitset) AndUnion(sat, mask *Bitset) bool {
-	var a0, a1, a2, a3 uint64
-	bw := b.words
-	sw := sat.words[:len(bw)]
-	mw := mask.words[:len(bw)]
-	i := 0
-	for ; i+4 <= len(bw); i += 4 {
-		w0 := bw[i] & (sw[i] | ^mw[i])
-		w1 := bw[i+1] & (sw[i+1] | ^mw[i+1])
-		w2 := bw[i+2] & (sw[i+2] | ^mw[i+2])
-		w3 := bw[i+3] & (sw[i+3] | ^mw[i+3])
-		bw[i], bw[i+1], bw[i+2], bw[i+3] = w0, w1, w2, w3
-		a0 |= w0
-		a1 |= w1
-		a2 |= w2
-		a3 |= w3
-	}
-	for ; i < len(bw); i++ {
-		bw[i] &= sw[i] | ^mw[i]
-		a0 |= bw[i]
-	}
-	return a0|a1|a2|a3 == 0
+	return andUnionWords(b.words, sat.words, mask.words) == 0
 }
 
 // Or sets b = b OR other in place.
 //
 //apcm:hotpath
 func (b *Bitset) Or(other *Bitset) {
-	bw := b.words
-	ow := other.words[:len(bw)]
-	for i := range bw {
-		bw[i] |= ow[i]
-	}
+	orWords(b.words, other.words)
 }
 
 // Xor sets b = b XOR other in place.
@@ -240,9 +185,7 @@ func (b *Bitset) Xor(other *Bitset) {
 //
 //apcm:hotpath
 func (b *Bitset) CopyFrom(other *Bitset) {
-	bw := b.words
-	ow := other.words[:len(bw)]
-	copy(bw, ow)
+	copyWords(b.words, other.words)
 }
 
 // Clone returns an independent copy of b.
@@ -281,28 +224,25 @@ func (b *Bitset) NextSet(i int) int {
 		return -1
 	}
 	wi := i >> wordShift
-	w := b.words[wi] >> (uint(i) & wordMask)
-	if w != 0 {
+	if w := b.words[wi] >> (uint(i) & wordMask); w != 0 {
 		return i + bits.TrailingZeros64(w)
 	}
-	for wi++; wi < len(b.words); wi++ {
-		if b.words[wi] != 0 {
-			return wi<<wordShift + bits.TrailingZeros64(b.words[wi])
-		}
+	wi = nextNonzeroWord(b.words, wi+1)
+	if wi < 0 {
+		return -1
 	}
-	return -1
+	return wi<<wordShift + bits.TrailingZeros64(b.words[wi])
 }
 
 // AppendSet appends the indexes of all set bits to dst and returns it.
+// Zero words are skipped by nextNonzeroWord and set words drained with
+// the same branch-free trailing-zeros strip loop Iter uses, so sparse
+// and dense sets both pay only for what is actually set.
 //
 //apcm:hotpath
 func (b *Bitset) AppendSet(dst []int) []int {
-	for wi, w := range b.words {
-		base := wi << wordShift
-		for w != 0 {
-			dst = append(dst, base+bits.TrailingZeros64(w))
-			w &= w - 1
-		}
+	for wi := nextNonzeroWord(b.words, 0); wi >= 0; wi = nextNonzeroWord(b.words, wi+1) {
+		dst = appendSetBits(dst, wi<<wordShift, b.words[wi])
 	}
 	return dst
 }
@@ -328,12 +268,10 @@ type Iter struct {
 // reports false immediately for an empty set).
 func (b *Bitset) IterStart() Iter {
 	it := Iter{b: b, idx: -1}
-	for it.wi = 0; it.wi < len(b.words); it.wi++ {
-		if w := b.words[it.wi]; w != 0 {
-			it.w = w
-			it.idx = it.wi<<wordShift + bits.TrailingZeros64(w)
-			break
-		}
+	if wi := nextNonzeroWord(b.words, 0); wi >= 0 {
+		it.wi = wi
+		it.w = b.words[wi]
+		it.idx = wi<<wordShift + bits.TrailingZeros64(it.w)
 	}
 	return it
 }
@@ -347,13 +285,14 @@ func (it *Iter) Index() int { return it.idx }
 // Next advances to the next set bit, clearing Valid at the end.
 func (it *Iter) Next() {
 	it.w &= it.w - 1 // strip the bit we are standing on
-	for it.w == 0 {
-		it.wi++
-		if it.wi >= len(it.b.words) {
+	if it.w == 0 {
+		wi := nextNonzeroWord(it.b.words, it.wi+1)
+		if wi < 0 {
 			it.idx = -1
 			return
 		}
-		it.w = it.b.words[it.wi]
+		it.wi = wi
+		it.w = it.b.words[wi]
 	}
 	it.idx = it.wi<<wordShift + bits.TrailingZeros64(it.w)
 }

@@ -159,6 +159,15 @@ func (p *Posting) SetDense(b *Bitset) { p.b, p.ids = b, nil }
 // SetSparse replaces the backing with a sorted id slice (see SetDense).
 func (p *Posting) SetSparse(ids []int32) { p.b, p.ids = nil, ids }
 
+// InitDense initializes p — typically a zero struct inside an arena's
+// posting slab — in place as a dense posting backed by b, without
+// allocating.
+func (p *Posting) InitDense(b *Bitset) { p.b, p.ids, p.n = b, nil, b.Len() }
+
+// InitSparse initializes p in place as a sparse posting of capacity n
+// over ids (sorted, caller-owned), without allocating.
+func (p *Posting) InitSparse(ids []int32, n int) { p.b, p.ids, p.n = nil, ids, n }
+
 // OrInto sets dst |= p. Sparse postings set only the listed bits.
 //
 //apcm:hotpath
@@ -167,10 +176,7 @@ func (p *Posting) OrInto(dst *Bitset) {
 		dst.Or(p.b)
 		return
 	}
-	w := dst.words
-	for _, id := range p.ids {
-		w[id>>wordShift] |= 1 << (uint(id) & wordMask)
-	}
+	sparseSetWords(dst.words, p.ids)
 }
 
 // CopyInto sets dst = p.
@@ -196,10 +202,7 @@ func (p *Posting) AndNotInto(dst *Bitset) bool {
 	if p.b != nil {
 		return dst.AndNot(p.b)
 	}
-	w := dst.words
-	for _, id := range p.ids {
-		w[id>>wordShift] &^= 1 << (uint(id) & wordMask)
-	}
+	sparseClearWords(dst.words, p.ids)
 	return false
 }
 
@@ -213,14 +216,7 @@ func (p *Posting) AndUnionInto(dst, sat *Bitset) bool {
 	if p.b != nil {
 		return dst.AndUnion(sat, p.b)
 	}
-	w := dst.words
-	sw := sat.words
-	for _, id := range p.ids {
-		bit := uint64(1) << (uint(id) & wordMask)
-		if sw[id>>wordShift]&bit == 0 {
-			w[id>>wordShift] &^= bit
-		}
-	}
+	sparseAndUnionWords(dst.words, sat.words, p.ids)
 	return false
 }
 

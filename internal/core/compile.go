@@ -110,6 +110,12 @@ type compiled struct {
 	predSlots     int // Σ per-member predicates (live members)
 	distinctPreds int // Σ dictionary entries (incl. equality-union values)
 	seqCount      uint32
+
+	// arena owns the cluster's backing storage after finalize: masks,
+	// posting structs and their words/ids, dictionary entries, flat
+	// tables, kill estimates and counters all live in its slabs (see
+	// arena.go). Nil only before finalize runs.
+	arena *clusterArena
 }
 
 // attrGroup holds one attribute's compiled predicates.
@@ -337,10 +343,12 @@ func (c *compiled) forEachPosting(fn func(p *bitset.Posting)) {
 
 // finalize runs the density-aware layout pass after all members are in:
 //
-//  1. Slab packing: every dense posting's words move into one contiguous
-//     []uint64 (like masks already is) and every sparse posting's ids
-//     into one []int32 with per-posting append slack, so the group loop
-//     walks two arrays instead of chasing per-entry allocations.
+//  1. Arena build: a pre-pass sizes every slab class — posting structs,
+//     dense words, sparse ids, dictionary entries, flat-table slots,
+//     masks, counters — and the whole cluster is re-homed into one
+//     clusterArena (see arena.go), so the group loop walks a handful of
+//     contiguous arrays instead of chasing per-entry heap objects, and
+//     recompile-and-swap frees the old cluster as a few slabs.
 //  2. Flat equality tables: groups whose observed equality-value span is
 //     small get a value-indexed eqFlat view over the eqUnion map.
 //  3. Static selectivity: groupKill is seeded per group from entry
@@ -349,86 +357,159 @@ func (c *compiled) forEachPosting(fn func(p *bitset.Posting)) {
 //     first members) — giving the kernel a kill order before the first
 //     adaptive probe refines it.
 func (c *compiled) finalize() {
-	c.groupKill = make([]atomic.Uint32, c.nAttrs)
-
-	// 1. Slab packing. Representations are already settled (Set promotes
-	// at the density boundary; forceDense builds dense outright).
-	denseWords, sparseIds := 0, 0
+	// Pre-pass A: posting and dictionary volumes. Representations are
+	// already settled (Set promotes at the density boundary; forceDense
+	// builds dense outright).
+	nPost, nDense, denseWords, sparseIds, nDict := 0, 0, 0, 0, 0
 	c.forEachPosting(func(p *bitset.Posting) {
+		nPost++
 		if p.IsSparse() {
 			sparseIds += len(p.Ids()) + sparseSlabSlack
 		} else {
+			nDense++
 			denseWords += c.words
 		}
 	})
-	dslab := make([]uint64, denseWords)
-	sslab := make([]int32, sparseIds)
-	do, so := 0, 0
-	c.forEachPosting(func(p *bitset.Posting) {
-		if p.IsSparse() {
-			ids := p.Ids()
-			dst := sslab[so : so+len(ids) : so+len(ids)+sparseSlabSlack]
-			copy(dst, ids)
-			p.SetSparse(dst)
-			so += len(ids) + sparseSlabSlack
-		} else {
-			v := bitset.View(dslab[do:do+c.words], c.capN)
-			p.CopyInto(v)
-			p.SetDense(v)
-			do += c.words
-		}
-	})
+	for gi := range c.groups {
+		nDict += len(c.groups[gi].first) + len(c.groups[gi].strict)
+	}
 
-	// 2. Flat attribute dictionary: a direct value-indexed attr → local
-	// index table replaces the step-1 merge-join/search against c.attrs
-	// when the universe's id span is bounded (same sizing logic as the
-	// flat equality tables). tryAppend never grows the universe, so the
-	// table stays coherent across incremental maintenance.
+	// Pre-pass B: flat attribute-dictionary span (the table is carved
+	// from the id slab). A direct value-indexed attr → local index table
+	// replaces the step-1 merge-join/search against c.attrs when the
+	// universe's id span is bounded (same sizing logic as the flat
+	// equality tables). tryAppend never grows the universe, so the table
+	// stays coherent across incremental maintenance.
+	attrSpan := 0
 	if !c.lo.noEqFlat && c.nAttrs > 0 {
 		lo, hi := c.attrs[0], c.attrs[len(c.attrs)-1]
 		span := int64(hi) - int64(lo) + 1
 		if span <= eqFlatMaxSpan && span <= int64(eqFlatSpanFactor*c.nAttrs+eqFlatMinSpan) {
-			dir := make([]int32, span)
-			for i := range dir {
-				dir[i] = -1
-			}
-			for i, a := range c.attrs {
-				dir[int64(a)-int64(lo)] = c.attrLocal[i]
-			}
-			c.attrDirect, c.attrLo = dir, lo
+			attrSpan = int(span)
 		}
 	}
 
-	// 3 + 4. Per-group flat equality tables and kill seeds.
+	// Pre-pass C: per-group equality spans, deciding each flat table
+	// before any allocation so the flat slab can be sized exactly.
+	type eqSpan struct {
+		lo, hi expr.Value
+		total  int // Σ eq-union member counts (reused by the kill seeds)
+		span   int // flat-table slots; 0 = keep the map only
+	}
+	spans := make([]eqSpan, len(c.groups))
+	flatSlots := 0
+	for gi := range c.groups {
+		g := &c.groups[gi]
+		if len(g.eqUnion) == 0 {
+			continue
+		}
+		sp := &spans[gi]
+		first := true
+		for v, u := range g.eqUnion {
+			sp.total += u.Count()
+			if first || v < sp.lo {
+				sp.lo = v
+			}
+			if first || v > sp.hi {
+				sp.hi = v
+			}
+			first = false
+		}
+		if !c.lo.noEqFlat {
+			span := int64(sp.hi) - int64(sp.lo) + 1
+			if span <= eqFlatMaxSpan && span <= int64(eqFlatSpanFactor*len(g.eqUnion)+eqFlatMinSpan) {
+				sp.span = int(span)
+				flatSlots += sp.span
+			}
+		}
+	}
+
+	maskWords := len(c.masks)
+	ar := newClusterArena(arenaSizes{
+		words: maskWords + denseWords,
+		ids:   sparseIds + attrSpan,
+		posts: nPost,
+		bsets: nDense,
+		dict:  nDict,
+		flat:  flatSlots,
+		kill:  c.nAttrs,
+		cnt:   c.capN,
+	})
+	c.arena = ar
+
+	// Re-home the flat member state. The masks were built in a private
+	// slice during the append pass (slab sizes depend on the finished
+	// postings); one copy moves them into the arena for good.
+	copy(ar.takeWords(maskWords), c.masks)
+	c.masks = ar.words[:maskWords:maskWords]
+	cnt := ar.cnt[:len(c.attrCnt):c.capN]
+	copy(cnt, c.attrCnt)
+	c.attrCnt = cnt
+	c.groupKill = ar.kill
+
+	// rehome moves one posting — struct and backing — into the arena.
+	rehome := func(p *bitset.Posting) *bitset.Posting {
+		np := ar.nextPosting()
+		if p.IsSparse() {
+			ids := p.Ids()
+			slab := ar.takeIDs(len(ids), sparseSlabSlack)
+			copy(slab, ids)
+			np.InitSparse(slab, c.capN)
+		} else {
+			bs := ar.nextBitset()
+			bs.InitView(ar.takeWords(c.words), c.capN)
+			p.CopyInto(bs)
+			np.InitDense(bs)
+		}
+		return np
+	}
+
+	// Re-home every posting, dictionary entry and flat table, group by
+	// group, in forEachPosting order so consumption matches pre-pass A
+	// exactly. eqFlat is rebuilt from the re-homed eqUnion values, so the
+	// two views alias the same arena posting structs.
+	for gi := range c.groups {
+		g := &c.groups[gi]
+		if g.attrBits != nil {
+			g.attrBits = rehome(g.attrBits)
+		}
+		for v, u := range g.eqUnion {
+			g.eqUnion[v] = rehome(u)
+		}
+		g.first = ar.takeDict(g.first)
+		for i := range g.first {
+			g.first[i].bits = rehome(g.first[i].bits)
+		}
+		g.strict = ar.takeDict(g.strict)
+		for i := range g.strict {
+			g.strict[i].bits = rehome(g.strict[i].bits)
+		}
+		if sp := &spans[gi]; sp.span > 0 {
+			flat := ar.takeFlat(sp.span)
+			for v, u := range g.eqUnion {
+				flat[int64(v)-int64(sp.lo)] = u
+			}
+			g.eqFlat, g.eqLo = flat, sp.lo
+		}
+	}
+
+	if attrSpan > 0 {
+		lo := c.attrs[0]
+		dir := ar.takeIDs(attrSpan, 0)
+		for i := range dir {
+			dir[i] = -1
+		}
+		for i, a := range c.attrs {
+			dir[int64(a)-int64(lo)] = c.attrLocal[i]
+		}
+		c.attrDirect, c.attrLo = dir, lo
+	}
+
+	// Kill seeds, from the re-homed postings.
 	for gi := range c.groups {
 		g := &c.groups[gi]
 		if g.attrBits == nil {
 			continue
-		}
-		eqTotal := 0
-		if len(g.eqUnion) > 0 {
-			first := true
-			var lo, hi expr.Value
-			for v, u := range g.eqUnion {
-				eqTotal += u.Count()
-				if first || v < lo {
-					lo = v
-				}
-				if first || v > hi {
-					hi = v
-				}
-				first = false
-			}
-			if !c.lo.noEqFlat {
-				span := int64(hi) - int64(lo) + 1
-				if span <= eqFlatMaxSpan && span <= int64(eqFlatSpanFactor*len(g.eqUnion)+eqFlatMinSpan) {
-					flat := make([]*bitset.Posting, span)
-					for v, u := range g.eqUnion {
-						flat[int64(v)-int64(lo)] = u
-					}
-					g.eqFlat, g.eqLo = flat, lo
-				}
-			}
 		}
 		firstTotal := 0
 		for i := range g.first {
@@ -436,7 +517,7 @@ func (c *compiled) finalize() {
 		}
 		surv := firstTotal / 2
 		if n := len(g.eqUnion); n > 0 {
-			surv += eqTotal / n
+			surv += spans[gi].total / n
 		}
 		kills := g.attrBits.Count() - surv
 		if kills < 0 {
@@ -444,6 +525,14 @@ func (c *compiled) finalize() {
 		}
 		c.groupKill[gi].Store(uint32(kills) << killPointShift)
 	}
+}
+
+// arenaBytes reports the cluster's arena footprint (0 before finalize).
+func (c *compiled) arenaBytes() int64 {
+	if c.arena == nil {
+		return 0
+	}
+	return c.arena.bytes()
 }
 
 // tryAppend incorporates a freshly inserted pool member without
@@ -466,6 +555,35 @@ func (c *compiled) tryAppend(p *betree.Pool, x *expr.Expression) bool {
 	c.append(x)
 	c.gen = p.Gen
 	c.rev = nextRev() // invalidate revision-keyed caches
+	return true
+}
+
+// tryAppendBatch incorporates a run of freshly inserted pool members in
+// one step: one generation check, one pass, one revision bump, instead
+// of one of each per subscription (the bulk-restore path). It succeeds
+// only when the batch accounts for every unseen pool change — the
+// cluster's generation plus the batch length must land exactly on the
+// pool's generation. That check is sound because cluster generations
+// are only ever assigned from pool generations: any change beyond these
+// appends (a split, a member moved in from a neighbouring pool's split,
+// an interleaved delete) advances p.Gen past c.gen+len(xs) and the
+// cluster is left stale for the usual lazy recompile.
+func (c *compiled) tryAppendBatch(p *betree.Pool, xs []*expr.Expression) bool {
+	if len(xs) == 0 || c.gen+uint64(len(xs)) != p.Gen || c.n+len(xs) > c.capN || c.needsRebuild() {
+		return false
+	}
+	for _, x := range xs {
+		for i := range x.Preds {
+			if _, ok := c.attrIdx[x.Preds[i].Attr]; !ok {
+				return false
+			}
+		}
+	}
+	for _, x := range xs {
+		c.append(x)
+	}
+	c.gen = p.Gen
+	c.rev = nextRev() // invalidate revision-keyed caches, once for the batch
 	return true
 }
 

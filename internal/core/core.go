@@ -216,6 +216,53 @@ func (m *Matcher) Insert(x *expr.Expression) error {
 	return nil
 }
 
+// InsertBulk adds xs to the index in order, stopping at the first
+// failure; it returns the number inserted. It is Insert amortized for
+// bulk restores: appended members are bucketed per destination pool and
+// each compiled cluster incorporates its whole batch with a single
+// generation check and revision bump (tryAppendBatch) instead of one
+// per subscription. Same write contract as Insert.
+func (m *Matcher) InsertBulk(xs []*expr.Expression) (int, error) {
+	maintain := m.cfg.Mode != ModeUncompressed
+	if maintain {
+		// A cold matcher has nothing compiled, hence nothing to maintain;
+		// skip the bucketing entirely (the common restore case).
+		m.cmu.RLock()
+		maintain = len(m.clusters) > 0
+		m.cmu.RUnlock()
+	}
+	if !maintain {
+		for i, x := range xs {
+			if _, err := m.tree.InsertPool(x); err != nil {
+				return i, err
+			}
+		}
+		return len(xs), nil
+	}
+	inserted, ierr := len(xs), error(nil)
+	var pools []*betree.Pool // distinct destination pools, first-touch order
+	byPool := make(map[*betree.Pool][]*expr.Expression)
+	for i, x := range xs {
+		p, err := m.tree.InsertPool(x)
+		if err != nil {
+			inserted, ierr = i, err
+			break
+		}
+		if _, ok := byPool[p]; !ok {
+			pools = append(pools, p)
+		}
+		byPool[p] = append(byPool[p], x)
+	}
+	m.cmu.RLock()
+	for _, p := range pools {
+		if cs := m.clusters[p]; cs != nil && cs.compiled != nil {
+			cs.compiled.tryAppendBatch(p, byPool[p])
+		}
+	}
+	m.cmu.RUnlock()
+	return inserted, ierr
+}
+
 // Delete removes the expression with the given id. A compiled cluster
 // tombstones the member in place when possible instead of recompiling.
 func (m *Matcher) Delete(id expr.ID) bool {
@@ -325,7 +372,8 @@ type Stats struct {
 	PredicateSlots    int // Σ per-member predicates (uncompressed volume)
 	DistinctPreds     int // Σ dictionary entries (compressed volume)
 	CompressedBytes   int64
-	CompressedServing int // clusters currently routed to the compressed kernel
+	ArenaBytes        int64 // Σ cluster arena slab bytes (see internal/core/arena.go)
+	CompressedServing int   // clusters currently routed to the compressed kernel
 
 	// Density-adaptive layout tallies (see compile.go finalize): chosen
 	// posting representations, sparse volume, and flat equality tables.
@@ -380,6 +428,7 @@ func (m *Matcher) Stats() Stats {
 		st.PredicateSlots += c.predSlots
 		st.DistinctPreds += c.distinctPreds
 		st.CompressedBytes += c.memoryBytes()
+		st.ArenaBytes += c.arenaBytes()
 		t := c.tally()
 		st.DensePostings += t.Dense
 		st.SparsePostings += t.Sparse
@@ -468,6 +517,50 @@ func (m *Matcher) PrepareAll() {
 			m.clusterFor(p)
 		}
 	})
+}
+
+// PrepareAllWith is PrepareAll with the compilations fanned out through
+// run (typically sched.Pool.Run): each pool compiles independently into
+// its own arena, so after a bulk restore — where compilation is the
+// dominant remaining cold-start cost — the compiles parallelize
+// cleanly. run must execute fn(worker, i) for every i in [0, n) and
+// return only when all have completed. Same write contract as
+// PrepareAll: no concurrent matchers or writers.
+func (m *Matcher) PrepareAllWith(run func(n int, fn func(worker, idx int))) {
+	if m.cfg.Mode == ModeUncompressed {
+		return
+	}
+	var todo []*betree.Pool
+	m.cmu.RLock()
+	m.tree.Pools(func(p *betree.Pool) {
+		if len(p.Exprs) < m.cfg.MinCompressSize {
+			return
+		}
+		if cs := m.clusters[p]; cs != nil && cs.compiled != nil &&
+			cs.compiled.gen == p.Gen && !cs.compiled.needsRebuild() {
+			return
+		}
+		todo = append(todo, p)
+	})
+	m.cmu.RUnlock()
+	if len(todo) == 0 {
+		return
+	}
+	built := make([]*compiled, len(todo))
+	lo := m.cfg.layout()
+	run(len(todo), func(_, i int) {
+		built[i] = compileOpts(todo[i], lo)
+	})
+	m.cmu.Lock()
+	for i, p := range todo {
+		cs := m.clusters[p]
+		if cs == nil {
+			cs = newClusterState()
+			m.clusters[p] = cs
+		}
+		cs.compiled = built[i]
+	}
+	m.cmu.Unlock()
 }
 
 // MemBytes estimates the total heap footprint: tree plus compiled

@@ -24,6 +24,15 @@ import (
 //     function (every other append target — parameters, struct fields,
 //     reslices, make results — is assumed presized by the caller).
 //
+// Arena sub-slicing is recognized as alloc-free: a capacity-clamped
+// sub-slice carved from a slab (s := a.words[o:o+n:o+n+slack], or the
+// result of a take-style helper) is a view into storage the arena
+// already owns, so assigning one to a local and appending into its
+// slack never reaches the allocator. Both shapes count as
+// capacity-bearing below; appending past the clamp reallocates that
+// one slice privately, which is the arena's documented maintenance
+// policy (internal/core/arena.go), not a hot-path heap escape.
+//
 // The analyzer is intentionally intraprocedural: a hot-path function may
 // call an unannotated slow-path helper (e.g. the kernelScratch.get miss
 // path) that allocates; the boundary is the annotation.
@@ -284,8 +293,19 @@ func capacityBearing(pass *analysis.Pass, v *types.Var, rhs ast.Expr) bool {
 				}
 			}
 		}
-		return true // make, conversions, function results
+		// Function results carry whatever capacity the callee gave
+		// them — including arena take-style helpers (takeIDs,
+		// takeWords), whose capacity-clamped slab views are the whole
+		// point of the arena. make and conversions likewise.
+		return true
+	case *ast.SliceExpr:
+		// Reslices and slab sub-slices: s := a.words[o:o+n:o+n+slack]
+		// is a view into arena-owned storage, alloc-free by
+		// construction. A zero-slack clamp makes later appends
+		// reallocate privately, but that is the arena's maintenance
+		// escape hatch, deliberately off the hot path.
+		return true
 	default:
-		return true // reslices, selectors, index expressions
+		return true // selectors, index expressions, other variables
 	}
 }

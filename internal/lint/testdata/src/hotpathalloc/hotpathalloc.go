@@ -57,6 +57,38 @@ func hotAppend(dst []int, n int) []int {
 	return tail
 }
 
+// arena mimics the compiled-cluster slab arena (internal/core/arena.go):
+// typed slabs carved into capacity-clamped sub-slices via take helpers.
+type arena struct {
+	words []int
+	wo    int
+}
+
+func (a *arena) take(n, slack int) []int {
+	s := a.words[a.wo : a.wo+n : a.wo+n+slack]
+	a.wo += n + slack
+	return s
+}
+
+// Arena sub-slicing is alloc-free: slab views and take-helper results
+// are capacity-bearing, whether bound at declaration or assigned to a
+// slice declared empty. None of these appends may be flagged.
+//
+//apcm:hotpath
+func hotArena(a *arena, n int) []int {
+	direct := a.words[a.wo : a.wo+n : a.wo+n+1] // slab sub-slice: ok
+	direct = append(direct, n)
+	taken := a.take(n, 1) // take-style helper: ok
+	taken = append(taken, n)
+	var late []int
+	late = a.words[0:0:n] // declared empty, rebound to a slab view: ok
+	late = append(late, n)
+	var bad []int
+	bad = append(bad, n) // want `append to un-presized slice bad`
+	_ = bad
+	return append(direct[:0], late...)
+}
+
 // Unannotated functions may do all of the above freely.
 func coldEverything(m map[int]int) interface{} {
 	defer cleanup()

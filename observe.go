@@ -18,6 +18,12 @@ type engineMetrics struct {
 	subscribes      *metrics.Counter
 	unsubscribes    *metrics.Counter
 
+	// Cold-start restore instruments (LoadSubscriptions and the paths
+	// over it: RestoreSubscriptions, shard group loads).
+	coldstartRestores *metrics.Counter
+	coldstartSubs     *metrics.Counter
+	coldstartLatency  *metrics.Histogram
+
 	// Stream instruments, shared by every Stream over this engine.
 	streamEvents        *metrics.Counter
 	streamFlushFull     *metrics.Counter
@@ -39,6 +45,10 @@ func (e *Engine) attachMetrics(reg *metrics.Registry) {
 		batchSize:       reg.HistogramShaped("apcm_match_batch_size", "events per MatchBatch call", 1, 2, 24),
 		subscribes:      reg.Counter("apcm_subscribe_total", "successful Subscribe calls"),
 		unsubscribes:    reg.Counter("apcm_unsubscribe_total", "successful Unsubscribe calls"),
+
+		coldstartRestores: reg.Counter("apcm_coldstart_restores_total", "LoadSubscriptions restores completed"),
+		coldstartSubs:     reg.Counter("apcm_coldstart_subscriptions_total", "subscriptions loaded by restores"),
+		coldstartLatency:  reg.Histogram("apcm_coldstart_latency_ns", "wall-clock time per LoadSubscriptions restore"),
 
 		streamEvents:        reg.Counter("apcm_stream_events_total", "events published through streams"),
 		streamFlushFull:     reg.Counter("apcm_stream_flush_full_total", "window flushes triggered by a full window"),
@@ -63,6 +73,9 @@ func (e *Engine) attachMetrics(reg *metrics.Registry) {
 		})
 		reg.GaugeFunc("apcm_compressed_serving", "clusters currently routed to the compressed kernel", func() float64 {
 			return float64(e.Stats().CompressedServing)
+		})
+		reg.GaugeFunc("apcm_arena_bytes", "total backing size of compiled-cluster arenas", func() float64 {
+			return float64(e.Stats().ArenaBytes)
 		})
 		reg.CounterFunc("apcm_adaptive_probes_total", "dual-kernel cost probes", func() float64 {
 			p, _, _ := e.cm.AdaptiveCounters()

@@ -1,0 +1,68 @@
+package shard_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/shard"
+)
+
+// TestFanOutSequentialOnSingleProc: with GOMAXPROCS=1 the fan-out
+// degrades to an inline loop over the shards (see Group.runFan) — the
+// worker pool would only add handoff latency. The degraded path must be
+// observationally identical to pooled fan-out: same matches, same
+// batch segments, probes still feeding the cost EWMAs.
+func TestFanOutSequentialOnSingleProc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	w := testWorkload(41)
+	xs := w.Expressions(600)
+	events := w.Events(2 * 64) // enough fan-outs to cross a probe
+
+	g := shard.MustNew(shard.Options{Shards: 4, Workers: 2})
+	defer g.Close()
+	subscribeAll(t, g, xs)
+
+	ref := apcm.MustNew(apcm.Options{Workers: 1})
+	defer ref.Close()
+	for _, x := range xs {
+		if err := ref.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, ev := range events {
+		want := sorted(ref.Match(ev))
+		got := sorted(g.Match(ev))
+		if len(got) != len(want) {
+			t.Fatalf("event %d: %d matches, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("event %d: match %d = %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+
+	var r apcm.BatchResult
+	g.MatchBatchInto(events[:32], &r)
+	for i := 0; i < 32; i++ {
+		want := sorted(ref.Match(events[i]))
+		got := sorted(append([]expr.ID(nil), r.For(i)...))
+		if len(got) != len(want) {
+			t.Fatalf("batch event %d: %d matches, want %d", i, len(got), len(want))
+		}
+	}
+
+	// Probe fan-outs run inline too: the cost EWMAs must be fed.
+	probed := false
+	for _, ss := range g.Stats().PerShard {
+		if ss.CostNs > 0 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("no shard cost EWMA fed after 128 inline fan-outs")
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/streammatch/apcm"
@@ -71,6 +72,23 @@ func (g *Group) snapshotWeights(w []int64) {
 	}
 }
 
+// runFan executes fn for every shard: across the worker pool with
+// cost-weighted lane slicing normally, inline on the calling goroutine
+// when the host has a single schedulable core. With GOMAXPROCS=1 the
+// pool's lanes just time-slice one core, so the fan-out would pay
+// goroutine handoff and wakeup latency per event for zero parallelism —
+// measurably slower than the plain loop (see EXPERIMENTS.md E19, the
+// subs=100k/shards=2 anomaly).
+func (g *Group) runFan(weights []int64, fn func(worker, s int)) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		for s := range weights {
+			fn(0, s)
+		}
+		return
+	}
+	g.pool.RunWeighted(weights, fn)
+}
+
 // Match returns the ids of all subscriptions matching ev across every
 // shard (order unspecified). On a closed group it returns nil.
 func (g *Group) Match(ev *expr.Event) []expr.ID {
@@ -97,14 +115,14 @@ func (g *Group) MatchAppend(dst []expr.ID, ev *expr.Event) []expr.ID {
 	g.snapshotWeights(j.weights)
 	if m := g.met; m != nil {
 		start := time.Now()
-		g.pool.RunWeighted(j.weights, j.run)
+		g.runFan(j.weights, j.run)
 		fanned := time.Now()
 		dst = j.mergeInto(dst)
 		m.fanLatency.ObserveDuration(fanned.Sub(start))
 		m.mergeLatency.ObserveDuration(time.Since(fanned))
 		m.countEvents(1)
 	} else {
-		g.pool.RunWeighted(j.weights, j.run)
+		g.runFan(j.weights, j.run)
 		dst = j.mergeInto(dst)
 	}
 	if j.probe {
@@ -182,14 +200,14 @@ func (g *Group) MatchBatchInto(events []*expr.Event, r *apcm.BatchResult) {
 	g.snapshotWeights(j.weights)
 	if m := g.met; m != nil {
 		start := time.Now()
-		g.pool.RunWeighted(j.weights, j.run)
+		g.runFan(j.weights, j.run)
 		fanned := time.Now()
 		apcm.MergeBatchResults(r, j.parts)
 		m.fanLatency.ObserveDuration(fanned.Sub(start))
 		m.mergeLatency.ObserveDuration(time.Since(fanned))
 		m.countEvents(len(events))
 	} else {
-		g.pool.RunWeighted(j.weights, j.run)
+		g.runFan(j.weights, j.run)
 		apcm.MergeBatchResults(r, j.parts)
 	}
 	if j.probe && len(events) > 0 {

@@ -1,0 +1,115 @@
+package shard_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/shard"
+	"github.com/streammatch/apcm/trace"
+)
+
+// TestGroupLoadParallelForced: the raw-routing parallel loader (forced
+// here by raising GOMAXPROCS past 1) must agree with a per-call
+// Subscribe build under both partitioning strategies and across shard
+// counts — same Len, same matches, same id-allocator state.
+func TestGroupLoadParallelForced(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := testWorkload(31)
+	xs := w.Expressions(1200)
+	events := w.Events(60)
+	var buf bytes.Buffer
+	if err := trace.WriteExpressions(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	var maxID expr.ID
+	for _, x := range xs {
+		if x.ID > maxID {
+			maxID = x.ID
+		}
+	}
+
+	ref := shard.MustNew(shard.Options{Shards: 2, Workers: 2})
+	defer ref.Close()
+	subscribeAll(t, ref, xs)
+
+	for _, strat := range []shard.Strategy{shard.HashID, shard.AttrRange} {
+		for _, shards := range []int{2, 3} {
+			g := shard.MustNew(shard.Options{Shards: shards, Strategy: strat, Workers: 2})
+			n, err := g.LoadSubscriptions(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%v/%d: %v", strat, shards, err)
+			}
+			if n != len(xs) || g.Len() != len(xs) {
+				t.Fatalf("%v/%d: loaded %d (Len %d), want %d", strat, shards, n, g.Len(), len(xs))
+			}
+			if id := g.NewID(); id <= maxID {
+				t.Fatalf("%v/%d: NewID = %d after loading ids up to %d", strat, shards, id, maxID)
+			}
+			for i, ev := range events {
+				want := sorted(ref.Match(ev))
+				got := sorted(g.Match(ev))
+				if len(got) != len(want) {
+					t.Fatalf("%v/%d: event %d: %d matches, want %d", strat, shards, i, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%v/%d: event %d diverged from reference", strat, shards, i)
+					}
+				}
+			}
+			g.Close()
+		}
+	}
+}
+
+// TestGroupLoadParallelTruncated: a truncated tail fails the load but
+// keeps every complete record, on both load paths.
+func TestGroupLoadParallelTruncated(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := testWorkload(37)
+	xs := w.Expressions(500)
+	var buf bytes.Buffer
+	if err := trace.WriteExpressions(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	g := shard.MustNew(shard.Options{Shards: 3, Workers: 2})
+	defer g.Close()
+	n, err := g.LoadSubscriptions(bytes.NewReader(buf.Bytes()[:buf.Len()-2]))
+	if err == nil {
+		t.Fatal("truncated trace loaded without error")
+	}
+	if n != len(xs)-1 || g.Len() != n {
+		t.Fatalf("loaded %d (Len %d) from the truncated trace, want %d", n, g.Len(), len(xs)-1)
+	}
+}
+
+// TestGroupLoadParallelDuplicate: a duplicate id stops its owning
+// shard; the error surfaces and the loaded count matches the group's
+// live size.
+func TestGroupLoadParallelDuplicate(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	xs := []*expr.Expression{
+		expr.MustNew(700, expr.Eq(1, 1)),
+		expr.MustNew(800, expr.Eq(2, 2)),
+		expr.MustNew(700, expr.Eq(3, 3)), // duplicate id
+		expr.MustNew(900, expr.Eq(4, 4)),
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteExpressions(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	g := shard.MustNew(shard.Options{Shards: 2, Workers: 2})
+	defer g.Close()
+	n, err := g.LoadSubscriptions(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("duplicate-id trace loaded without error")
+	}
+	if g.Len() != n {
+		t.Fatalf("loaded %d but group holds %d", n, g.Len())
+	}
+	if id := g.NewID(); id <= 900 {
+		t.Fatalf("NewID = %d after a load that peeked ids up to 900", id)
+	}
+}

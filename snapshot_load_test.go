@@ -1,0 +1,272 @@
+package apcm_test
+
+import (
+	"bytes"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/streammatch/apcm"
+	"github.com/streammatch/apcm/expr"
+	"github.com/streammatch/apcm/trace"
+	"github.com/streammatch/apcm/workload"
+)
+
+// loadTestTrace builds an in-memory expression trace plus a probe event
+// set from the default workload generator.
+func loadTestTrace(t testing.TB, nsubs, nevents int) ([]byte, []*expr.Event) {
+	t.Helper()
+	p := workload.Default()
+	p.Seed = 17
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteExpressions(&buf, g.Expressions(nsubs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), g.Events(nevents)
+}
+
+func sortedIDs(ids []expr.ID) []expr.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// checkLoadEquivalence loads data into a fresh engine through load and
+// verifies count, Len, id-allocator advance and match results against
+// an engine filled by LoadSubscriptionsSequential.
+func checkLoadEquivalence(t *testing.T, data []byte, events []*expr.Event,
+	load func(e *apcm.Engine, data []byte) (int, error)) {
+	t.Helper()
+	ref := apcm.MustNew(apcm.Options{Workers: 1})
+	defer ref.Close()
+	want, err := ref.LoadSubscriptionsSequential(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	got, err := load(eng, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || eng.Len() != ref.Len() {
+		t.Fatalf("loaded %d (Len %d), sequential loaded %d (Len %d)",
+			got, eng.Len(), want, ref.Len())
+	}
+	if eng.NewID() != ref.NewID() {
+		t.Fatal("id allocators diverged after load")
+	}
+	eng.Prepare()
+	for i, ev := range events {
+		a := sortedIDs(eng.Match(ev))
+		b := sortedIDs(ref.Match(ev))
+		if len(a) != len(b) {
+			t.Fatalf("event %d: %d matches vs sequential %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("event %d: match %d is %d vs sequential %d", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestLoadSubscriptionsChunked: the chunked slab-decoding restore (the
+// single-core path) is observationally identical to the sequential
+// loop.
+func TestLoadSubscriptionsChunked(t *testing.T) {
+	data, events := loadTestTrace(t, 3000, 200)
+	checkLoadEquivalence(t, data, events, func(e *apcm.Engine, data []byte) (int, error) {
+		return e.LoadSubscriptions(bytes.NewReader(data))
+	})
+}
+
+// TestLoadSubscriptionsPipelined: the reader/decoder/inserter pipeline
+// (the multi-core path, forced here by raising GOMAXPROCS) is
+// observationally identical to the sequential loop.
+func TestLoadSubscriptionsPipelined(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	data, events := loadTestTrace(t, 3000, 200)
+	checkLoadEquivalence(t, data, events, func(e *apcm.Engine, data []byte) (int, error) {
+		return e.LoadSubscriptions(bytes.NewReader(data))
+	})
+}
+
+// loadPartialCases exercises every loader flavour against the two
+// partial-failure shapes: a duplicate id mid-trace (insert failure) and
+// a truncated tail (read failure). All flavours must keep the prefix,
+// report its exact size, and advance the id allocator past it.
+func loadPartialCases(t *testing.T, load func(e *apcm.Engine, data []byte) (int, error)) {
+	t.Helper()
+	xs := []*expr.Expression{
+		expr.MustNew(700, expr.Eq(1, 1)),
+		expr.MustNew(800, expr.Eq(2, 2)),
+		expr.MustNew(700, expr.Eq(3, 3)), // duplicate id: Subscribe fails here
+		expr.MustNew(900, expr.Eq(4, 4)),
+	}
+	var buf bytes.Buffer
+	if err := writeExpressionTrace(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	n, err := load(eng, buf.Bytes())
+	if err == nil {
+		t.Fatal("duplicate-id trace loaded without error")
+	}
+	if n != 2 || eng.Len() != 2 {
+		t.Fatalf("loaded %d (Len %d) before the duplicate, want 2", n, eng.Len())
+	}
+	if id := eng.NewID(); id <= 800 {
+		t.Fatalf("NewID = %d after loading ids 700, 800, want > 800", id)
+	}
+
+	var clean bytes.Buffer
+	if err := writeExpressionTrace(&clean, []*expr.Expression{xs[0], xs[1], xs[3]}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := apcm.MustNew(apcm.Options{Workers: 1})
+	defer trunc.Close()
+	n, err = load(trunc, clean.Bytes()[:clean.Len()-3])
+	if err == nil {
+		t.Fatal("truncated trace loaded without error")
+	}
+	if n != 2 || trunc.Len() != 2 {
+		t.Fatalf("loaded %d (Len %d) from the truncated trace, want 2", n, trunc.Len())
+	}
+	if id := trunc.NewID(); id <= 800 {
+		t.Fatalf("NewID = %d after a truncated load of ids 700, 800, want > 800", id)
+	}
+}
+
+func TestLoadSubscriptionsChunkedPartial(t *testing.T) {
+	loadPartialCases(t, func(e *apcm.Engine, data []byte) (int, error) {
+		return e.LoadSubscriptions(bytes.NewReader(data))
+	})
+}
+
+func TestLoadSubscriptionsPipelinedPartial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	loadPartialCases(t, func(e *apcm.Engine, data []byte) (int, error) {
+		return e.LoadSubscriptions(bytes.NewReader(data))
+	})
+}
+
+func TestLoadSubscriptionsSequentialPartial(t *testing.T) {
+	loadPartialCases(t, func(e *apcm.Engine, data []byte) (int, error) {
+		return e.LoadSubscriptionsSequential(bytes.NewReader(data))
+	})
+}
+
+// TestSubscribeBulk: bulk subscription is Subscribe in a loop with
+// batch locking — same results, same stop-at-first-failure contract.
+func TestSubscribeBulk(t *testing.T) {
+	p := workload.Default()
+	p.Seed = 23
+	g := workload.MustNew(p)
+	xs := g.Expressions(2000)
+	events := g.Events(100)
+
+	ref := apcm.MustNew(apcm.Options{Workers: 1})
+	defer ref.Close()
+	for _, x := range xs {
+		if err := ref.Subscribe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	if n, err := eng.SubscribeBulk(xs); err != nil || n != len(xs) {
+		t.Fatalf("SubscribeBulk = %d, %v, want %d, nil", n, err, len(xs))
+	}
+	if eng.Len() != ref.Len() {
+		t.Fatalf("Len %d vs per-call %d", eng.Len(), ref.Len())
+	}
+	eng.Prepare()
+	ref.Prepare()
+	for i, ev := range events {
+		a, b := sortedIDs(eng.Match(ev)), sortedIDs(ref.Match(ev))
+		if len(a) != len(b) {
+			t.Fatalf("event %d: %d matches vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("event %d: match %d is %d vs %d", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSubscribeBulkPartialFailure(t *testing.T) {
+	eng := apcm.MustNew(apcm.Options{Workers: 1})
+	defer eng.Close()
+	xs := []*expr.Expression{
+		expr.MustNew(1, expr.Eq(1, 1)),
+		expr.MustNew(2, expr.Eq(2, 2)),
+		expr.MustNew(1, expr.Eq(3, 3)), // duplicate
+		expr.MustNew(3, expr.Eq(4, 4)),
+	}
+	n, err := eng.SubscribeBulk(xs)
+	if err == nil {
+		t.Fatal("duplicate id subscribed without error")
+	}
+	if n != 2 || eng.Len() != 2 {
+		t.Fatalf("SubscribeBulk inserted %d (Len %d), want 2", n, eng.Len())
+	}
+}
+
+func TestSubscribeBulkNormalize(t *testing.T) {
+	eng := apcm.MustNew(apcm.Options{Workers: 1, Normalize: true})
+	defer eng.Close()
+	xs := []*expr.Expression{
+		expr.MustNew(1, expr.Eq(1, 1)),
+		expr.MustNew(2, expr.Eq(1, 1), expr.Eq(1, 2)), // unsatisfiable
+		expr.MustNew(3, expr.Eq(2, 2)),
+	}
+	n, err := eng.SubscribeBulk(xs)
+	if err != apcm.ErrUnsatisfiable {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+	if n != 1 || eng.Len() != 1 {
+		t.Fatalf("SubscribeBulk inserted %d (Len %d), want 1", n, eng.Len())
+	}
+}
+
+// TestSubscribeBulkThenAppendCompiled: bulk inserts into an already
+// compiled cluster must be absorbed (batch append or recompile) and
+// stay matchable.
+func TestSubscribeBulkThenAppendCompiled(t *testing.T) {
+	eng := apcm.MustNew(apcm.Options{Workers: 1, MinCompressSize: 8})
+	defer eng.Close()
+	var xs []*expr.Expression
+	for i := expr.ID(1); i <= 64; i++ {
+		xs = append(xs, expr.MustNew(i, expr.Eq(1, expr.Value(i%4)), expr.Ge(2, 0)))
+	}
+	if n, err := eng.SubscribeBulk(xs[:48]); err != nil || n != 48 {
+		t.Fatalf("first batch: %d, %v", n, err)
+	}
+	eng.Prepare() // compile
+	if n, err := eng.SubscribeBulk(xs[48:]); err != nil || n != 16 {
+		t.Fatalf("second batch: %d, %v", n, err)
+	}
+	got := sortedIDs(eng.Match(expr.MustEvent(expr.P(1, 1), expr.P(2, 5))))
+	var want []expr.ID
+	for i := expr.ID(1); i <= 64; i++ {
+		if i%4 == 1 {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matched %d subscriptions after compiled append, want %d: %v", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
