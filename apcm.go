@@ -184,7 +184,7 @@ func (o *Options) sanitize() {
 type Engine struct {
 	opts Options
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex //apcm:lockrank=1
 	closed bool
 
 	// Exactly one of cm (compressed algorithms) and sm (sequential
@@ -192,7 +192,9 @@ type Engine struct {
 	cm *core.Matcher
 	sm match.Matcher
 	// smMu serialises matches on stateful sequential matchers (Counting
-	// keeps per-event counters).
+	// keeps per-event counters). It nests inside mu (Match holds the
+	// read lock when it takes smMu), never the other way around.
+	//apcm:lockrank=2
 	smMu       sync.Mutex
 	smStateful bool
 

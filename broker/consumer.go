@@ -24,7 +24,7 @@ type consumerState struct {
 	s    *Server
 	name string
 
-	mu   sync.Mutex
+	mu   sync.Mutex //apcm:lockrank=3
 	c    *conn // claiming connection; nil when offline
 	live bool  // replay finished; publishers deliver directly
 }
@@ -137,6 +137,8 @@ func decodeConsumerRecord(rec []byte) (name string, tail []byte, err error) {
 // whatever is appended before the replay's final round is replayed,
 // whatever after is delivered here. Delivery counts only after the
 // record is durable and the frame was accepted by the outbox.
+//
+//apcm:durable
 func (s *Server) deliverDurable(target *conn, cs *consumerState, tail []byte, nsubs int) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()

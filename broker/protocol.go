@@ -135,6 +135,10 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// appendUvarint appends v to dst. Per-frame codec: every delivered
+// match, durable frame and logged record goes through it.
+//
+//apcm:hotpath
 func appendUvarint(dst []byte, v uint64) []byte {
 	return binary.AppendUvarint(dst, v)
 }

@@ -68,7 +68,7 @@ type Server struct {
 	// is inherited from Server.Metrics when unset. Set before Serve.
 	Log commitlog.Config
 
-	mu        sync.RWMutex
+	mu        sync.RWMutex //apcm:lockrank=1
 	subs      map[expr.ID]*subscriber // engine id -> owner
 	conns     map[*conn]struct{}
 	consumers map[string]*consumerState
@@ -123,7 +123,7 @@ type conn struct {
 	written  atomic.Int64
 	// engine ids owned by this connection, keyed by client id, plus the
 	// consumer identity this connection resumed as (nil before resume).
-	mu       sync.Mutex
+	mu       sync.Mutex //apcm:lockrank=2
 	byClient map[uint64]expr.ID
 	consumer *consumerState
 }
@@ -418,7 +418,7 @@ func (c *conn) send(frame []byte) bool {
 	case <-t.C:
 		c.s.slowDrops.Add(1)
 		c.s.Logf("broker: dropping slow consumer %v (stalled %v)", c.nc.RemoteAddr(), timeout)
-		c.shutdown()
+		c.abort()
 		return false
 	}
 }
@@ -427,30 +427,53 @@ func (c *conn) shutdown() {
 	c.closeO.Do(func() {
 		close(c.done)
 		c.nc.Close()
-		// Unregister this connection's subscriptions and detach its
-		// consumer identity so a successor connection can resume it.
-		c.mu.Lock()
-		ids := make([]expr.ID, 0, len(c.byClient))
-		for _, id := range c.byClient {
-			ids = append(ids, id)
-		}
-		c.byClient = make(map[uint64]expr.ID)
-		cs := c.consumer
-		c.consumer = nil
-		c.mu.Unlock()
-		if cs != nil {
-			cs.detach(c)
-		}
-		c.s.mu.Lock()
-		for _, id := range ids {
-			delete(c.s.subs, id)
-		}
-		delete(c.s.conns, c)
-		c.s.mu.Unlock()
-		for _, id := range ids {
-			c.s.eng.Unsubscribe(id)
-		}
+		c.unregister()
 	})
+}
+
+// abort is shutdown for callers that may hold delivery locks: the
+// connection is dead when it returns — c.done closed, so every
+// in-flight send unblocks and later sends fail — but the lock-taking
+// unregistration runs on a fresh goroutine. send's slow-consumer drop
+// fires with consumerState.mu held on the durable-delivery and
+// resume-replay paths, and unregister re-enters that mutex via detach;
+// synchronously that is a self-deadlock (Go mutexes are not
+// reentrant).
+func (c *conn) abort() {
+	c.closeO.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		//apcm:detached short-lived teardown; the connection is already dead, nothing joins it
+		go c.unregister()
+	})
+}
+
+// unregister removes this connection's subscriptions and detaches its
+// consumer identity so a successor connection can resume it. Called
+// exactly once per connection, by whichever of shutdown/abort won the
+// closeO race.
+func (c *conn) unregister() {
+	c.mu.Lock()
+	ids := make([]expr.ID, 0, len(c.byClient))
+	for _, id := range c.byClient {
+		ids = append(ids, id)
+	}
+	c.byClient = make(map[uint64]expr.ID)
+	cs := c.consumer
+	c.consumer = nil
+	c.mu.Unlock()
+	if cs != nil {
+		cs.detach(c)
+	}
+	c.s.mu.Lock()
+	for _, id := range ids {
+		delete(c.s.subs, id)
+	}
+	delete(c.s.conns, c)
+	c.s.mu.Unlock()
+	for _, id := range ids {
+		c.s.eng.Unsubscribe(id)
+	}
 }
 
 func (c *conn) readLoop() {

@@ -95,6 +95,7 @@ func main() {
 	if *metAddr != "" {
 		reg = metrics.New()
 		ms := &http.Server{Addr: *metAddr, Handler: metrics.NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+		//apcm:detached process-lifetime server; ListenAndServe returns on the deferred ms.Close()
 		go func() {
 			fmt.Printf("apcm-bench: metrics on http://%s/metrics\n", *metAddr)
 			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {

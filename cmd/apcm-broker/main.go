@@ -194,6 +194,7 @@ func main() {
 
 	if reg != nil {
 		ms := &http.Server{Addr: *metAddr, Handler: metrics.NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+		//apcm:detached process-lifetime server; ListenAndServe returns on the deferred ms.Close()
 		go func() {
 			fmt.Printf("apcm-broker: metrics on http://%s/metrics\n", *metAddr)
 			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -225,6 +226,7 @@ func main() {
 			json.NewEncoder(w).Encode(body)
 		})
 		hs := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		//apcm:detached process-lifetime server; ListenAndServe returns on the deferred hs.Close()
 		go func() {
 			fmt.Printf("apcm-broker: monitoring on http://%s/stats\n", *httpAddr)
 			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {

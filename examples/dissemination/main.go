@@ -43,7 +43,7 @@ func main() {
 	}
 	srv := broker.NewServer(eng)
 	srv.Logf = func(string, ...any) {}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //apcm:detached Serve returns on the deferred srv.Close()
 	defer srv.Close()
 	addr := ln.Addr().String()
 	fmt.Printf("broker listening on %s\n\n", addr)

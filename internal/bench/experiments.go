@@ -634,7 +634,7 @@ func e14() Experiment {
 			}
 			srv := broker.NewServer(eng)
 			srv.Logf = func(string, ...any) {}
-			go srv.Serve(ln)
+			go srv.Serve(ln) //apcm:detached Serve returns on the deferred srv.Close()
 			defer srv.Close()
 
 			c, err := broker.Dial(ln.Addr().String())

@@ -60,6 +60,8 @@ var ErrCorrupt = errors.New("commitlog: corrupt batch")
 // b[headerSize:] already holds the record data. It is the only batch
 // encoder; callers reserve the header space up front so encoding is a
 // fill-in-place, not a copy.
+//
+//apcm:hotpath
 func fillHeader(b []byte, base uint64, count uint32) {
 	b[0] = batchMagic
 	binary.BigEndian.PutUint64(b[5:13], base)

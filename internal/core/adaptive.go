@@ -22,7 +22,13 @@ const (
 // pool mutates; mode and counters survive recompilation so a cluster's
 // learned behaviour is not forgotten on every update.
 type clusterState struct {
-	compiled *compiled
+	// compiled is published wholesale: recompilation builds a fresh
+	// value and Stores it; the match path Loads it with no lock held.
+	// In-place append/tombstone repairs go through the compiled
+	// value's own guarded entry points (tryAppend, tryTombstone), never
+	// through naked field writes after publication.
+	//apcm:publish
+	compiled atomic.Pointer[compiled]
 
 	// mode is the kernel serving non-probe events.
 	mode atomic.Int32
@@ -57,7 +63,7 @@ func (m *Matcher) matchAdaptive(cs *clusterState, s *Scratch, dst []expr.ID, p *
 		return m.probe(cs, s, dst, p, e)
 	}
 	if kernel(cs.mode.Load()) == kernelCompressed {
-		dst, _ = cs.compiled.matchCompressed(&s.kern, e, dst)
+		dst, _ = cs.compiled.Load().matchCompressed(&s.kern, e, dst)
 		return dst
 	}
 	dst, _ = scanPool(&s.kern, p.Exprs, e, dst)
@@ -86,7 +92,7 @@ func (m *Matcher) probe(cs *clusterState, s *Scratch, dst []expr.ID, p *betree.P
 	// both kernels are timed as actually executed, so A-PCM keeps
 	// picking the genuinely cheaper one per cluster.
 	startC := time.Now()
-	dst, _ = cs.compiled.matchHybrid(&s.kern, e, dst, true)
+	dst, _ = cs.compiled.Load().matchHybrid(&s.kern, e, dst, true)
 	costC := float64(time.Since(startC))
 
 	d := m.cfg.Decay

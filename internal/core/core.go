@@ -210,8 +210,10 @@ func (m *Matcher) Insert(x *expr.Expression) error {
 	m.cmu.RLock()
 	cs := m.clusters[pool]
 	m.cmu.RUnlock()
-	if cs != nil && cs.compiled != nil {
-		cs.compiled.tryAppend(pool, x)
+	if cs != nil {
+		if c := cs.compiled.Load(); c != nil {
+			c.tryAppend(pool, x)
+		}
 	}
 	return nil
 }
@@ -255,8 +257,10 @@ func (m *Matcher) InsertBulk(xs []*expr.Expression) (int, error) {
 	}
 	m.cmu.RLock()
 	for _, p := range pools {
-		if cs := m.clusters[p]; cs != nil && cs.compiled != nil {
-			cs.compiled.tryAppendBatch(p, byPool[p])
+		if cs := m.clusters[p]; cs != nil {
+			if c := cs.compiled.Load(); c != nil {
+				c.tryAppendBatch(p, byPool[p])
+			}
 		}
 	}
 	m.cmu.RUnlock()
@@ -274,8 +278,10 @@ func (m *Matcher) Delete(id expr.ID) bool {
 		m.cmu.RLock()
 		cs := m.clusters[pool]
 		m.cmu.RUnlock()
-		if cs != nil && cs.compiled != nil {
-			cs.compiled.tryTombstone(pool, id)
+		if cs != nil {
+			if c := cs.compiled.Load(); c != nil {
+				c.tryTombstone(pool, id)
+			}
 		}
 	}
 	return true
@@ -335,7 +341,7 @@ func (m *Matcher) MatchPool(s *Scratch, dst []expr.ID, p *betree.Pool, e *expr.E
 	cs := m.clusterFor(p)
 	switch m.cfg.Mode {
 	case ModeCompressed:
-		dst, _ = cs.compiled.matchCompressed(&s.kern, e, dst)
+		dst, _ = cs.compiled.Load().matchCompressed(&s.kern, e, dst)
 		return dst
 	default:
 		return m.matchAdaptive(cs, s, dst, p, e)
@@ -348,8 +354,10 @@ func (m *Matcher) clusterFor(p *betree.Pool) *clusterState {
 	m.cmu.RLock()
 	cs := m.clusters[p]
 	m.cmu.RUnlock()
-	if cs != nil && cs.compiled.gen == p.Gen && !cs.compiled.needsRebuild() {
-		return cs
+	if cs != nil {
+		if c := cs.compiled.Load(); c != nil && c.gen == p.Gen && !c.needsRebuild() {
+			return cs
+		}
 	}
 	m.cmu.Lock()
 	defer m.cmu.Unlock()
@@ -358,8 +366,8 @@ func (m *Matcher) clusterFor(p *betree.Pool) *clusterState {
 		cs = newClusterState()
 		m.clusters[p] = cs
 	}
-	if cs.compiled == nil || cs.compiled.gen != p.Gen || cs.compiled.needsRebuild() {
-		cs.compiled = compileOpts(p, m.cfg.layout())
+	if c := cs.compiled.Load(); c == nil || c.gen != p.Gen || c.needsRebuild() {
+		cs.compiled.Store(compileOpts(p, m.cfg.layout()))
 	}
 	return cs
 }
@@ -422,7 +430,7 @@ func (m *Matcher) Stats() Stats {
 	m.cmu.RLock()
 	defer m.cmu.RUnlock()
 	for _, cs := range m.clusters {
-		c := cs.compiled
+		c := cs.compiled.Load()
 		st.CompiledClusters++
 		st.MemberSlots += c.live()
 		st.PredicateSlots += c.predSlots
@@ -480,7 +488,7 @@ func (m *Matcher) Clusters() []ClusterInfo {
 	defer m.cmu.RUnlock()
 	out := make([]ClusterInfo, 0, len(m.clusters))
 	for _, cs := range m.clusters {
-		c := cs.compiled
+		c := cs.compiled.Load()
 		ewmaC, ewmaU, mode := cs.estimates()
 		t := c.tally()
 		out = append(out, ClusterInfo{
@@ -536,9 +544,10 @@ func (m *Matcher) PrepareAllWith(run func(n int, fn func(worker, idx int))) {
 		if len(p.Exprs) < m.cfg.MinCompressSize {
 			return
 		}
-		if cs := m.clusters[p]; cs != nil && cs.compiled != nil &&
-			cs.compiled.gen == p.Gen && !cs.compiled.needsRebuild() {
-			return
+		if cs := m.clusters[p]; cs != nil {
+			if c := cs.compiled.Load(); c != nil && c.gen == p.Gen && !c.needsRebuild() {
+				return
+			}
 		}
 		todo = append(todo, p)
 	})
@@ -558,7 +567,7 @@ func (m *Matcher) PrepareAllWith(run func(n int, fn func(worker, idx int))) {
 			cs = newClusterState()
 			m.clusters[p] = cs
 		}
-		cs.compiled = built[i]
+		cs.compiled.Store(built[i])
 	}
 	m.cmu.Unlock()
 }
@@ -570,7 +579,7 @@ func (m *Matcher) MemBytes() int64 {
 	m.cmu.RLock()
 	defer m.cmu.RUnlock()
 	for _, cs := range m.clusters {
-		b += cs.compiled.memoryBytes()
+		b += cs.compiled.Load().memoryBytes()
 	}
 	return b
 }

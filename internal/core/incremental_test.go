@@ -44,21 +44,21 @@ func TestIncrementalAppendAvoidsRecompile(t *testing.T) {
 	ev := expr.MustEvent(expr.P(1, 1))
 	before := len(m.MatchAppend(nil, ev))
 	cs := theCluster(t, m)
-	compiledBefore := cs.compiled
+	compiledBefore := cs.compiled.Load()
 
 	// Insert an expression over the existing attribute: must append in
 	// place, keeping the same compiled object.
 	if err := m.Insert(expr.MustNew(1000, expr.Eq(1, 1))); err != nil {
 		t.Fatal(err)
 	}
-	if cs.compiled != compiledBefore {
+	if cs.compiled.Load() != compiledBefore {
 		t.Fatal("append replaced the compiled cluster")
 	}
 	got := m.MatchAppend(nil, ev)
 	if len(got) != before+1 {
 		t.Fatalf("after append got %d matches, want %d", len(got), before+1)
 	}
-	if cs.compiled != compiledBefore {
+	if cs.compiled.Load() != compiledBefore {
 		t.Fatal("match after incremental append still recompiled")
 	}
 }
@@ -73,7 +73,7 @@ func TestIncrementalAppendNewAttributeForcesRecompile(t *testing.T) {
 	ev := expr.MustEvent(expr.P(1, 1), expr.P(2, 5))
 	m.MatchAppend(nil, ev)
 	cs := theCluster(t, m)
-	compiledBefore := cs.compiled
+	compiledBefore := cs.compiled.Load()
 
 	// Attribute 2 is outside the cluster universe: the incremental path
 	// must refuse and the next match must recompile correctly.
@@ -90,7 +90,7 @@ func TestIncrementalAppendNewAttributeForcesRecompile(t *testing.T) {
 	if !found {
 		t.Fatalf("new-attribute expression not matched after recompile: %v", got)
 	}
-	if cs.compiled == compiledBefore {
+	if cs.compiled.Load() == compiledBefore {
 		t.Fatal("expected a recompile for a new attribute")
 	}
 }
@@ -107,12 +107,12 @@ func TestTombstoneDeleteAvoidsRecompile(t *testing.T) {
 		t.Fatalf("precondition: %d matches", len(got))
 	}
 	cs := theCluster(t, m)
-	compiledBefore := cs.compiled
+	compiledBefore := cs.compiled.Load()
 
 	if !m.Delete(17) {
 		t.Fatal("delete failed")
 	}
-	if cs.compiled != compiledBefore {
+	if cs.compiled.Load() != compiledBefore {
 		t.Fatal("delete replaced the compiled cluster")
 	}
 	got := m.MatchAppend(nil, ev)
@@ -124,11 +124,11 @@ func TestTombstoneDeleteAvoidsRecompile(t *testing.T) {
 			t.Fatal("tombstoned member still matching")
 		}
 	}
-	if cs.compiled != compiledBefore {
+	if cs.compiled.Load() != compiledBefore {
 		t.Fatal("match after tombstone still recompiled")
 	}
-	if cs.compiled.live() != 63 || cs.compiled.tombs != 1 {
-		t.Fatalf("live/tombs bookkeeping wrong: %d/%d", cs.compiled.live(), cs.compiled.tombs)
+	if cs.compiled.Load().live() != 63 || cs.compiled.Load().tombs != 1 {
+		t.Fatalf("live/tombs bookkeeping wrong: %d/%d", cs.compiled.Load().live(), cs.compiled.Load().tombs)
 	}
 }
 
@@ -142,7 +142,7 @@ func TestTombstonePileupTriggersRebuild(t *testing.T) {
 	ev := expr.MustEvent(expr.P(1, 1))
 	m.MatchAppend(nil, ev)
 	cs := theCluster(t, m)
-	compiledBefore := cs.compiled
+	compiledBefore := cs.compiled.Load()
 
 	// Delete well past the 50% threshold.
 	for i := 1; i <= 40; i++ {
@@ -154,11 +154,11 @@ func TestTombstonePileupTriggersRebuild(t *testing.T) {
 	if len(got) != 24 {
 		t.Fatalf("after heavy deletion got %d matches, want 24", len(got))
 	}
-	if cs.compiled == compiledBefore {
+	if cs.compiled.Load() == compiledBefore {
 		t.Fatal("tombstone pile-up did not trigger a rebuild")
 	}
-	if cs.compiled.tombs != 0 {
-		t.Fatalf("rebuilt cluster still carries %d tombstones", cs.compiled.tombs)
+	if cs.compiled.Load().tombs != 0 {
+		t.Fatalf("rebuilt cluster still carries %d tombstones", cs.compiled.Load().tombs)
 	}
 }
 
@@ -172,7 +172,7 @@ func TestAppendBeyondSlackRecompiles(t *testing.T) {
 	ev := expr.MustEvent(expr.P(1, 1))
 	m.MatchAppend(nil, ev)
 	cs := theCluster(t, m)
-	capN := cs.compiled.capN
+	capN := cs.compiled.Load().capN
 
 	// Grow far past the slack; correctness must hold throughout.
 	for i := 9; i <= capN+32; i++ {
@@ -183,7 +183,7 @@ func TestAppendBeyondSlackRecompiles(t *testing.T) {
 			t.Fatalf("after %d inserts got %d matches", i, len(got))
 		}
 	}
-	if cs.compiled.capN == capN {
+	if cs.compiled.Load().capN == capN {
 		t.Fatal("capacity never grew; recompile on slack exhaustion missing")
 	}
 }

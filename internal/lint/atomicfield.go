@@ -10,20 +10,27 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 )
 
-// AtomicField flags mixed atomic/plain access: any variable or struct
-// field that is ever passed by address to a sync/atomic free function
-// (atomic.AddInt64(&x, ...), atomic.LoadUint32(&s.f), ...) must be
-// accessed through sync/atomic everywhere in the package. A plain read
-// races with the atomic writers; a plain write tears the atomic
-// readers. The engine's own counters migrated to typed atomics
-// (atomic.Int64 etc.) for exactly this reason — the analyzer keeps the
-// legacy free-function form from silently reappearing half-converted.
+// AtomicField flags mixed atomic/plain access in both atomic idioms:
+//
+// Free functions: any variable or struct field that is ever passed by
+// address to a sync/atomic free function (atomic.AddInt64(&x, ...),
+// atomic.LoadUint32(&s.f), ...) must be accessed through sync/atomic
+// everywhere in the package. A plain read races with the atomic
+// writers; a plain write tears the atomic readers.
+//
+// Typed atomics: a variable or field whose type is a typed atomic
+// (atomic.Int64, atomic.Pointer[T], atomic.Value, ...) may only be
+// used through its methods or by address — any whole-value use is a
+// report: assigning over it clobbers state concurrent readers are
+// loading, and copying it forks a counter the rest of the code no
+// longer sees (the copy also defeats the vet copylocks contract, which
+// this suite does not otherwise run).
 //
 // The check is package-local and two-pass: first collect every object
 // whose address reaches sync/atomic, then flag every other appearance
 // of those objects that is not itself under a sync/atomic call or an
-// unsafe.Pointer/address-of handoff. Test files are included: a racy
-// test is still racy.
+// unsafe.Pointer/address-of handoff; typed-atomic objects are checked
+// use-by-use. Test files are included: a racy test is still racy.
 var AtomicField = &analysis.Analyzer{
 	Name:     "atomicfield",
 	Doc:      "flag plain reads/writes of variables also accessed via sync/atomic",
@@ -42,6 +49,8 @@ func runAtomicField(pass *analysis.Pass) (interface{}, error) {
 	// Every identifier position that appears inside some sync/atomic
 	// call's arguments — those uses are the sanctioned ones.
 	sanctioned := make(map[token.Pos]bool)
+
+	checkTypedAtomicUses(pass, ins)
 
 	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
 		call := n.(*ast.CallExpr)
@@ -106,6 +115,55 @@ func runAtomicField(pass *analysis.Pass) (interface{}, error) {
 		return true
 	})
 	return nil, nil
+}
+
+// checkTypedAtomicUses flags whole-value uses of typed atomics: every
+// identifier whose object's type is a sync/atomic wrapper must resolve
+// to a method access (x.Load(), s.f.Store(v)) or an address-of handoff
+// (&s.f passed to a helper); anything else reads or writes the wrapper
+// as a value.
+func checkTypedAtomicUses(pass *analysis.Pass, ins *inspector.Inspector) {
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		id := n.(*ast.Ident)
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isTypedAtomic(v.Type()) {
+			return true
+		}
+		// Climb from the ident to the widest expression denoting the
+		// atomic itself: s.f when the ident is a field selection.
+		idx := len(stack) - 1
+		if idx > 0 {
+			if sel, ok := stack[idx-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+				idx--
+			}
+		}
+		if idx > 0 {
+			switch parent := stack[idx-1].(type) {
+			case *ast.SelectorExpr:
+				// Method (or promoted-field) access on the atomic value.
+				return true
+			case *ast.UnaryExpr:
+				if parent.Op == token.AND {
+					return true // &s.f handed to an atomic-aware helper
+				}
+			case *ast.KeyValueExpr:
+				// Composite-literal initialization before the value is
+				// shared: atomic.Pointer zero values are rarely named,
+				// but a keyed field referencing another atomic as the
+				// *value* is still a copy — only the key side is fine.
+				if kv := parent; kv.Key == stack[idx] {
+					return true
+				}
+			}
+		}
+		pass.Reportf(id.Pos(),
+			"whole-value use of typed atomic %s (type %s): atomics must not be copied or reassigned; use its methods or pass its address",
+			v.Name(), v.Type())
+		return true
+	})
 }
 
 // isSyncAtomicCall reports whether call invokes a free function of the

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/cfg"
+)
+
+// AtomicPublish enforces the pointer-flip publication discipline used
+// by the compiled-cluster swap, the rev-keyed caches and the EWMA
+// arming state (DESIGN §11): state that one goroutine republishes while
+// others read it locklessly must be
+//
+//  1. declared as a typed atomic — a field annotated //apcm:publish
+//     whose type is not atomic.Pointer/Value/Int32/.../Bool is a
+//     report: a plain pointer flip has no release fence, so readers can
+//     observe a partially-constructed value;
+//  2. immutable after publish — once a value is handed to Store, the
+//     publisher must not write through it again (readers may already
+//     hold it), and values obtained from Load must never be written
+//     through at all.
+//
+// The mutation checks are CFG-based within each function: a write
+// through a variable that was Stored earlier on some path, or through a
+// Load result, is reported. Rebuilding a fresh value and Storing again
+// is the sanctioned update idiom. The check is scoped to
+// //apcm:publish-annotated fields so ordinary mutable atomics
+// (counters, EWMA accumulators that tolerate torn read-modify-write)
+// opt out by not opting in.
+var AtomicPublish = &analysis.Analyzer{
+	Name:     "atomicpublish",
+	Doc:      "require //apcm:publish fields to be typed atomics, immutable after Store/Load",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runAtomicPublish,
+}
+
+// atomicTypeNames are the sync/atomic typed wrappers acceptable for a
+// published field.
+var atomicTypeNames = map[string]bool{
+	"Pointer": true, "Value": true,
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+}
+
+func runAtomicPublish(pass *analysis.Pass) (interface{}, error) {
+	published := publishFields(pass)
+	if len(published) == 0 {
+		return nil, nil
+	}
+	flows := funcFlows(pass)
+	for _, f := range flows {
+		checkPublishFlow(pass, f, published)
+	}
+	return nil, nil
+}
+
+// publishFields collects the //apcm:publish-annotated struct fields,
+// reporting the ones whose type is not a typed atomic.
+func publishFields(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				annotated := hasDirective(field.Doc, dirPublish) || hasDirective(field.Comment, dirPublish)
+				if !annotated {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if !isTypedAtomic(obj.Type()) {
+						pass.Reportf(field.Pos(),
+							"field %s.%s is annotated //%s but has type %s; pointer-flip publication requires a sync/atomic typed value (atomic.Pointer, atomic.Value, ...)",
+							ts.Name.Name, name.Name, dirPublish, obj.Type())
+						continue
+					}
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isTypedAtomic reports whether t is one of the sync/atomic typed
+// wrappers (atomic.Pointer[T], atomic.Value, atomic.Int64, ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()]
+}
+
+// publishedCall recognises x.Store(v) / x.Load() on a published field
+// and returns the field object.
+func publishedCall(pass *analysis.Pass, call *ast.CallExpr, published map[types.Object]bool, method string) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.ObjectOf(inner.Sel)
+	if obj == nil || !published[obj] {
+		return nil, false
+	}
+	return obj, true
+}
+
+// checkPublishFlow checks one body for post-publish mutation.
+func checkPublishFlow(pass *analysis.Pass, f *funcFlow, published map[types.Object]bool) {
+	// storePoints: local variable v → CFG points where v was Stored.
+	type storeAt struct {
+		pt    flowPoint
+		field types.Object
+	}
+	storePoints := make(map[types.Object][]storeAt)
+	// loadVars: local variables bound to a Load() result, with the field.
+	loadVars := make(map[types.Object]types.Object)
+	// rebinds: points where a tracked variable is re-assigned wholesale,
+	// killing the published alias (the old value stays published; the
+	// variable now names a fresh one).
+	rebinds := make(map[types.Object][]flowPoint)
+
+	walkOwnBody(f.body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if field, ok := publishedCall(pass, n, published, "Store"); ok && len(n.Args) == 1 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && !v.IsField() {
+						if pt, ok := pointOf(f.g, n.Pos()); ok {
+							storePoints[v] = append(storePoints[v], storeAt{pt, field})
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if field, ok := publishedCall(pass, call, published, "Load"); ok {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok {
+							if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+								loadVars[v] = field
+							}
+						}
+					}
+				}
+			}
+			for _, l := range n.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && !v.IsField() {
+						if pt, ok := pointOf(f.g, n.Pos()); ok {
+							rebinds[v] = append(rebinds[v], pt)
+						}
+					}
+				}
+			}
+		}
+	})
+	if len(storePoints) == 0 && len(loadVars) == 0 {
+		return
+	}
+
+	// Any write through a tracked variable: assignment or inc/dec whose
+	// LHS is a selector/index rooted at it.
+	walkOwnBody(f.body, func(n ast.Node) {
+		var lhs []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			lhs = n.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{n.X}
+		default:
+			return
+		}
+		for _, l := range lhs {
+			root, isDeref := writeRoot(pass, l)
+			if root == nil || !isDeref {
+				continue
+			}
+			if field, loaded := loadVars[root]; loaded {
+				pass.Reportf(l.Pos(),
+					"write through %s, a value obtained from %s.Load: published data is immutable (copy, modify, Store a fresh value)",
+					root.Name(), lockLabel(nil, field))
+				continue
+			}
+			stores := storePoints[root]
+			if len(stores) == 0 {
+				continue
+			}
+			mpt, ok := pointOf(f.g, l.Pos())
+			if !ok {
+				continue
+			}
+			for _, s := range stores {
+				if aliasReaches(s.pt, mpt, rebinds[root]) {
+					pass.Reportf(l.Pos(),
+						"write through %s after it was published via %s.Store: readers may already hold it (copy, modify, Store a fresh value)",
+						root.Name(), lockLabel(nil, s.field))
+					break
+				}
+			}
+		}
+	})
+}
+
+// aliasReaches reports whether execution can flow from the Store at
+// start to the mutation at target without passing a rebind of the
+// variable — a rebind kills the published alias (the variable names a
+// fresh value from then on). Node-granular BFS; blocks are visited once
+// (loop re-entries approximate).
+func aliasReaches(start, target flowPoint, kills []flowPoint) bool {
+	killAt := func(b *cfg.Block, i int) bool {
+		for _, k := range kills {
+			if k.block == b && k.idx == i {
+				return true
+			}
+		}
+		return false
+	}
+	type scan struct {
+		b    *cfg.Block
+		from int
+	}
+	visited := make(map[*cfg.Block]bool)
+	queue := []scan{{start.block, start.idx + 1}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		dead := false
+		for i := s.from; i < len(s.b.Nodes); i++ {
+			if s.b == target.block && i == target.idx {
+				return true
+			}
+			if killAt(s.b, i) {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		for _, succ := range s.b.Succs {
+			if !visited[succ] {
+				visited[succ] = true
+				queue = append(queue, scan{succ, 0})
+			}
+		}
+	}
+	return false
+}
+
+// writeRoot resolves an assignment target to the local variable it
+// writes *through*: v.f = x, v.f.g = x, v[i] = x, *v = x all root at v
+// with isDeref=true; a plain v = x rebinds the variable (isDeref=false)
+// and is not a mutation of the published value.
+func writeRoot(pass *analysis.Pass, expr ast.Expr) (root *types.Var, isDeref bool) {
+	deref := false
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			deref = true
+			expr = e.X
+		case *ast.IndexExpr:
+			deref = true
+			expr = e.X
+		case *ast.StarExpr:
+			deref = true
+			expr = e.X
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var)
+			if !ok {
+				return nil, false
+			}
+			return v, deref
+		default:
+			return nil, false
+		}
+	}
+}

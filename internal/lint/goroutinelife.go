@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/cfg"
+)
+
+// GoroutineLife checks that every `go` statement carries a lifecycle:
+// the spawned body must reach a join/stop edge — a sync.WaitGroup
+// Done/Add, a channel close or send, a channel receive (including
+// range-over-channel and select, which block until someone else
+// signals), or a context.CancelFunc call — before returning, on all
+// paths. A goroutine with no such edge is unobservable: nothing can
+// wait for it, drain it, or stop it, which is exactly the leak class
+// the stream deadline-flush fix (PR 1) and the broker drain path
+// (PR 5) closed by hand.
+//
+// The discipline, in order of strength:
+//
+//   - a deferred signal (defer wg.Done(), defer close(done)) covers
+//     every path at once and is the preferred idiom;
+//   - a non-deferred signal must cover all paths: a return reachable
+//     from the entry without passing a signal is reported;
+//   - bodies that block on channels (receive, range, select) pass
+//     structurally — their termination is controlled by the signaling
+//     end, which this analyzer checks at its own `go` site;
+//   - signals reached through same-package calls count (go s.flushLoop()
+//     where flushLoop defers close(s.done) is clean);
+//   - a spawn whose body cannot be seen — a cross-package function or a
+//     dynamic function value — must be annotated, as must deliberate
+//     fire-and-forget: //apcm:detached on or immediately before the go
+//     statement.
+//
+// Test files are exempt: tests spawn scaffolding goroutines whose
+// lifetime is the test binary's.
+var GoroutineLife = &analysis.Analyzer{
+	Name:     "goroutinelife",
+	Doc:      "require every go statement to reach a join/stop edge on all paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runGoroutineLife,
+}
+
+func runGoroutineLife(pass *analysis.Pass) (interface{}, error) {
+	flows := funcFlows(pass)
+	if len(flows) == 0 {
+		return nil, nil
+	}
+	decls := pkgDecls(pass)
+	succs := callSuccs(pass, flows, decls)
+
+	flowOf := make(map[ast.Node]*funcFlow, len(flows))
+	seed := make(map[ast.Node]bool, len(flows))
+	for _, f := range flows {
+		flowOf[f.node()] = f
+		seed[f.node()] = bodyHasDirectSignal(pass, f.body)
+	}
+	hasSignal := reachBool(flows, succs, seed)
+
+	detached := detachedGoStmts(pass)
+
+	for _, f := range flows {
+		walkOwnBody(f.body, func(n ast.Node) {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			if isTestFile(pass.Fset, g.Pos()) || detached[g] {
+				return
+			}
+			checkGoStmt(pass, g, decls, flowOf, hasSignal)
+		})
+	}
+	return nil, nil
+}
+
+// walkOwnBody visits the nodes of body excluding nested function
+// literals (each literal is its own flow and checks its own spawns).
+func walkOwnBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// checkGoStmt verifies one spawn.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl, flowOf map[ast.Node]*funcFlow, hasSignal map[ast.Node]bool) {
+	var target *funcFlow
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		target = flowOf[lit]
+	} else if fn := staticCallee(pass, g.Call); fn != nil {
+		if d, ok := decls[fn]; ok {
+			target = flowOf[d]
+		}
+	}
+	if target == nil {
+		pass.Reportf(g.Pos(),
+			"cannot statically see the goroutine body (cross-package or dynamic function), so its join/stop edge is unverifiable; annotate //%s if fire-and-forget",
+			dirDetached)
+		return
+	}
+	if !hasSignal[target.node()] {
+		pass.Reportf(g.Pos(),
+			"goroutine running %s has no join/stop edge (WaitGroup.Done, channel close/send/receive, context cancel); annotate //%s if deliberately fire-and-forget",
+			target.name(), dirDetached)
+		return
+	}
+	// Blocking channel structure (receive, range, select) makes the
+	// all-paths question moot: the body's exit is gated on the signaling
+	// end. Only straight signal-emitting bodies get the path check.
+	if bodyBlocksOnChannels(pass, target.body) {
+		return
+	}
+	if pos, leaky := signalLeakPath(pass, target, decls, hasSignal); leaky {
+		pass.Reportf(g.Pos(),
+			"goroutine running %s may return at %s without reaching its join/stop edge (signal on some paths only; prefer defer)",
+			target.name(), pass.Fset.Position(pos))
+	}
+}
+
+// detachedGoStmts collects the go statements annotated //apcm:detached,
+// either as a leading comment or trailing on the same line.
+func detachedGoStmts(pass *analysis.Pass) map[*ast.GoStmt]bool {
+	out := make(map[*ast.GoStmt]bool)
+	for _, file := range pass.Files {
+		cm := ast.NewCommentMap(pass.Fset, file, file.Comments)
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			for _, cg := range cm[g] {
+				if hasDirective(cg, dirDetached) {
+					out[g] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// bodyHasDirectSignal reports whether body syntactically contains a
+// join/stop edge of its own (nested literals excluded — they count only
+// if invoked, via the call graph).
+func bodyHasDirectSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	walkOwnBody(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isSignalCall(pass, n) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// bodyBlocksOnChannels reports whether body (nested literals excluded)
+// contains a blocking channel construct: receive, range over a channel,
+// or select.
+func bodyBlocksOnChannels(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	walkOwnBody(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// isSignalCall recognises the call-shaped join/stop edges: close(ch),
+// sync.WaitGroup Done/Add, and invoking a context.CancelFunc.
+func isSignalCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if t := pass.TypesInfo.TypeOf(call.Fun); t != nil {
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			if obj := named.Obj(); obj.Name() == "CancelFunc" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+			(fn.Name() == "Done" || fn.Name() == "Add") {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv := sig.Recv().Type()
+				if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if named, ok := types.Unalias(recv).(*types.Named); ok && named.Obj().Name() == "WaitGroup" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nodeSignals reports whether a CFG node carries a signal: a signal
+// call (deferred or not), a send statement, or a call into a
+// same-package body that transitively signals.
+func nodeSignals(pass *analysis.Pass, node ast.Node, decls map[*types.Func]*ast.FuncDecl, hasSignal map[ast.Node]bool) (signals, deferred bool) {
+	if _, ok := node.(*ast.SendStmt); ok {
+		return true, false
+	}
+	forEachCall(node, func(call *ast.CallExpr, d bool) {
+		hit := isSignalCall(pass, call)
+		if !hit {
+			if fn := staticCallee(pass, call); fn != nil {
+				if decl, ok := decls[fn]; ok && hasSignal[decl] {
+					hit = true
+				}
+			}
+		}
+		if !hit {
+			for _, lit := range funcLitArgs(call) {
+				if hasSignal[lit] {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			signals = true
+			if d {
+				deferred = true
+			}
+		}
+	})
+	return signals, deferred
+}
+
+// signalLeakPath walks f's CFG looking for a return reachable from the
+// entry without passing a signal node. A deferred signal anywhere
+// covers all paths. Returns the position of the leaky return.
+func signalLeakPath(pass *analysis.Pass, f *funcFlow, decls map[*types.Func]*ast.FuncDecl, hasSignal map[ast.Node]bool) (token.Pos, bool) {
+	signalBlocks := make(map[*cfg.Block]bool)
+	for _, b := range f.g.Blocks {
+		for _, node := range b.Nodes {
+			sig, def := nodeSignals(pass, node, decls, hasSignal)
+			if def {
+				return token.NoPos, false // deferred signal covers every path
+			}
+			if sig {
+				signalBlocks[b] = true
+			}
+		}
+	}
+	entry := f.g.Blocks[0]
+	seen := make(map[*cfg.Block]bool)
+	queue := []*cfg.Block{entry}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if signalBlocks[b] {
+			continue // signal closes this subtree
+		}
+		if ret := b.Return(); ret != nil {
+			return ret.Pos(), true
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return token.NoPos, false
+}

@@ -20,7 +20,21 @@
 //     compile/arming sites only — never in //apcm:hotpath functions and
 //     never inside loops.
 //   - metricname: metric registrations use literal, unique,
-//     apcm_-prefixed snake_case names, outside hot paths.
+//     apcm_-prefixed snake_case names, outside hot paths, with label
+//     values drawn from compile-time-bounded sets.
+//   - lockorder: sync.Mutex/RWMutex acquisitions respect the partial
+//     order declared by //apcm:lockrank annotations, form no cycles in
+//     the package's may-hold-while-acquiring graph, and never occur in
+//     //apcm:hotpath functions.
+//   - goroutinelife: every `go` statement carries a join/stop edge —
+//     WaitGroup.Done, channel close or send, context cancellation — on
+//     all paths, or is annotated //apcm:detached.
+//   - fsyncorder: in //apcm:durable functions, delivery-frame emission
+//     is dominated by a completed commit-log Append/Sync — the
+//     machine-checked half of delivered ⊆ committed (DESIGN §9).
+//   - atomicpublish: fields annotated //apcm:publish are typed atomics
+//     (atomic.Pointer/Value/...), and pointer-flip-published values are
+//     not mutated after the Store.
 //
 // Annotation convention: a directive comment in the doc block of a
 // function, e.g.
@@ -53,12 +67,24 @@ func Analyzers() []*analysis.Analyzer {
 		AtomicField,
 		AblationConst,
 		MetricName,
+		LockOrder,
+		GoroutineLife,
+		FsyncOrder,
+		AtomicPublish,
 	}
 }
 
-// directive names recognised in function doc comments.
+// directive names recognised in doc comments. dirHotPath, dirDurable,
+// dirEmits, dirDetached and dirLockSafe annotate functions; dirLockRank
+// and dirPublish annotate struct fields.
 const (
-	dirHotPath = "apcm:hotpath"
+	dirHotPath  = "apcm:hotpath"
+	dirLockRank = "apcm:lockrank" // =N: field's rank in the lock partial order
+	dirDurable  = "apcm:durable"  // function is a durable delivery path
+	dirEmits    = "apcm:emits"    // function emits delivery frames
+	dirPublish  = "apcm:publish"  // field is pointer-flip-published state
+	dirDetached = "apcm:detached" // next go statement deliberately has no join edge
+	dirLockSafe = "apcm:locksafe" // lock acquire here is reviewed (hotpath slow tail)
 )
 
 // hasDirective reports whether doc contains the //name directive (no

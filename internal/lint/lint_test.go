@@ -27,7 +27,10 @@ func TestAnalyzers(t *testing.T) {
 // test assumes exactly these analyzers exist, and renaming one silently
 // orphans its fixture directory.
 func TestSuiteShape(t *testing.T) {
-	want := []string{"hotpathalloc", "scratchrelease", "atomicfield", "ablationconst", "metricname"}
+	want := []string{
+		"hotpathalloc", "scratchrelease", "atomicfield", "ablationconst", "metricname",
+		"lockorder", "goroutinelife", "fsyncorder", "atomicpublish",
+	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

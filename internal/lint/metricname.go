@@ -25,7 +25,13 @@ import (
 //     label set (double registration either panics or silently splits a
 //     series, depending on backend);
 //   - registration never happens inside an //apcm:hotpath function —
-//     registries take locks and allocate; register at construction.
+//     registries take locks and allocate; register at construction;
+//   - label values interpolated via Sprintf derive from
+//     compile-time-bounded sets: constants and integer expressions
+//     (a shard index is bounded by the shard count) are fine, but a
+//     non-constant string — an event key, a subscription id, a client
+//     name — makes series cardinality proportional to traffic content,
+//     which is how exposition endpoints OOM.
 //
 // Registration calls are matched by method name on any type named
 // Registry (Counter, Gauge, Histogram, HistogramShaped, GaugeFunc,
@@ -69,6 +75,7 @@ func runMetricName(pass *analysis.Pass) (interface{}, error) {
 			pass.Reportf(call.Pos(),
 				"metric registered in hot-path function %s; registries lock and allocate — register at construction", fn)
 		}
+		checkLabelCardinality(pass, call.Args[0])
 		name, literal := literalMetricName(pass, call.Args[0])
 		if !literal {
 			pass.Reportf(call.Args[0].Pos(),
@@ -143,6 +150,50 @@ func literalMetricName(pass *analysis.Pass, arg ast.Expr) (string, bool) {
 		return constant.StringVal(tv.Value), true
 	}
 	return "", false
+}
+
+// checkLabelCardinality flags Sprintf label values that are not
+// compile-time bounded: every non-format argument must be a constant or
+// an expression of integer (or boolean) type. A shard index enumerates
+// a set fixed at construction; a string variable enumerates whatever
+// the traffic contains.
+func checkLabelCardinality(pass *analysis.Pass, arg ast.Expr) {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" {
+		return
+	}
+	pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	for _, labelArg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[ast.Unparen(labelArg)]
+		if !ok || tv.Value != nil {
+			continue // constants are bounded by definition
+		}
+		if isBoundedLabelType(tv.Type) {
+			continue
+		}
+		pass.Reportf(labelArg.Pos(),
+			"metric label value has unbounded cardinality (type %s): labels must derive from compile-time-bounded sets such as a shard index, never event or subscription content", tv.Type)
+	}
+}
+
+// isBoundedLabelType reports whether t enumerates a set fixed at
+// compile/construction time: integers (indices) and booleans.
+func isBoundedLabelType(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
 }
 
 // enclosingHotPath returns the name of the nearest enclosing

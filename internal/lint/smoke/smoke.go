@@ -6,9 +6,9 @@
 //
 //	go run ./cmd/apcm-lint -tags apcmlint_smoke ./internal/lint/smoke
 //
-// must exit nonzero with five diagnostics. CI runs that as a required
-// step (see .github/workflows/ci.yml): a lint gate that cannot fail is
-// indistinguishable from no gate.
+// must exit nonzero with nine diagnostics — one per analyzer. CI runs
+// that as a required step (see .github/workflows/ci.yml): a lint gate
+// that cannot fail is indistinguishable from no gate.
 package smoke
 
 import (
@@ -73,4 +73,48 @@ func loopSwitch(cfg *config, events []int) int {
 // apcm_ prefix.
 func badMetric(r *Registry) {
 	r.Counter("smoke_bad_total", "not apcm_-prefixed")
+}
+
+// locker hosts the lockorder seed's mutex.
+type locker struct{ mu sync.Mutex }
+
+// badRelock seeds a lockorder violation: acquiring a mutex already held
+// on the same path (Go mutexes are not reentrant).
+func badRelock(l *locker) {
+	l.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// fireAndForget seeds a goroutinelife violation: the spawned goroutine
+// has no join/stop edge and no //apcm:detached annotation.
+func fireAndForget(f func()) {
+	go func() { f() }()
+}
+
+// Log mimics the commit log by type name, which is how the fsyncorder
+// analyzer matches Append/Sync commit calls.
+type Log struct{}
+
+func (*Log) Append(rec []byte) (uint64, error) { return 0, nil }
+
+type wire struct{}
+
+func (*wire) send(b []byte) bool { return true }
+
+// leakyDeliver seeds an fsyncorder violation: the emission precedes the
+// commit, so a crash between them delivers an uncommitted record.
+//
+//apcm:durable
+func leakyDeliver(l *Log, w *wire, b []byte) {
+	w.send(b)
+	l.Append(b)
+}
+
+// published seeds an atomicpublish violation: an //apcm:publish field
+// that is not a typed atomic.
+type published struct {
+	//apcm:publish
+	table *thing
 }

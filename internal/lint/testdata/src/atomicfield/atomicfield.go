@@ -28,3 +28,34 @@ func racyGen() uint32 { return gen } // want `plain access of gen`
 
 // Handing the address onward is sanctioned — it ends at an atomic call.
 func handoff(f func(*uint32)) { f(&gen) }
+
+// Typed atomics: method and address use is sanctioned; whole-value use
+// is a copy or clobber.
+
+type stats struct {
+	hits atomic.Int64
+	last atomic.Pointer[counter]
+}
+
+func (s *stats) bump() { s.hits.Add(1) }
+
+func (s *stats) read() int64 { return s.hits.Load() }
+
+func (s *stats) share(f func(*atomic.Int64)) { f(&s.hits) }
+
+func (s *stats) swap(c *counter) { s.last.Store(c) }
+
+func (s *stats) clobber() {
+	s.hits = atomic.Int64{} // want `whole-value use of typed atomic hits`
+}
+
+func (s *stats) fork() atomic.Int64 {
+	return s.hits // want `whole-value use of typed atomic hits`
+}
+
+var armed atomic.Bool
+
+func copyArmed() bool {
+	snapshot := armed // want `whole-value use of typed atomic armed`
+	return snapshot.Load()
+}

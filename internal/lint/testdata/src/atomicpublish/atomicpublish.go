@@ -1,0 +1,74 @@
+package atomicpublish
+
+import "sync/atomic"
+
+type compiled struct {
+	n     int
+	words []uint64
+}
+
+type cluster struct {
+	// The published layout pointer: readers Load it locklessly.
+	//
+	//apcm:publish
+	compiled atomic.Pointer[compiled]
+
+	// Published revision counter for the rev-keyed caches.
+	//
+	//apcm:publish
+	rev atomic.Uint64
+
+	// A plain pointer flip has no release fence.
+	//
+	//apcm:publish
+	raw *compiled // want `annotated //apcm:publish but has type \*atomicpublish.compiled`
+
+	mode int32
+}
+
+// publish is the sanctioned idiom: build fresh, then Store.
+func publish(c *cluster) {
+	fresh := &compiled{n: 1}
+	fresh.n = 2 // pre-publish construction is fine
+	c.compiled.Store(fresh)
+	c.rev.Add(1)
+}
+
+// badAfterStore mutates the value it already published: a reader that
+// Loaded between the two lines observes the mutation racily.
+func badAfterStore(c *cluster) {
+	fresh := &compiled{n: 1}
+	c.compiled.Store(fresh)
+	fresh.n = 2 // want `write through fresh after it was published via compiled.Store`
+}
+
+// badLoadMutate writes through a Load result, which some other
+// goroutine may be reading.
+func badLoadMutate(c *cluster) {
+	cur := c.compiled.Load()
+	cur.n = 3 // want `published data is immutable`
+}
+
+// badLoadIndex mutates shared backing storage through a Load result.
+func badLoadIndex(c *cluster) {
+	cur := c.compiled.Load()
+	cur.words[0] = 7 // want `published data is immutable`
+}
+
+// rebuild reads the current value and publishes a fresh replacement:
+// copy, modify, Store.
+func rebuild(c *cluster) {
+	cur := c.compiled.Load()
+	next := &compiled{n: cur.n + 1}
+	c.compiled.Store(next)
+}
+
+// rebind re-points the local after Store without touching the published
+// value: fine.
+func rebind(c *cluster) {
+	fresh := &compiled{n: 1}
+	c.compiled.Store(fresh)
+	fresh = &compiled{n: 2}
+	fresh.n = 3
+	c.compiled.Store(fresh)
+}

@@ -1,0 +1,99 @@
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func compute() int { return 0 }
+
+// deferredDone is the preferred idiom: the deferred Done covers every
+// path.
+func deferredDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// closer signals by closing a channel.
+func closer(ch chan int, wg *sync.WaitGroup) {
+	go func() {
+		defer close(ch)
+		work()
+	}()
+}
+
+// sender's join edge is the result send.
+func sender(res chan int) {
+	go func() {
+		res <- compute()
+	}()
+}
+
+// ranger blocks on the channel: termination is owned by whoever closes
+// jobs, which is checked at that goroutine's own spawn site.
+func ranger(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// cancels invokes a context.CancelFunc when done.
+func cancels(cancel context.CancelFunc) {
+	go func() {
+		work()
+		cancel()
+	}()
+}
+
+// viaHelper spawns a named method whose body carries the edge.
+func viaHelper(s *srv) {
+	go s.loop()
+}
+
+type srv struct{ done chan struct{} }
+
+func (s *srv) loop() {
+	defer close(s.done)
+	work()
+}
+
+// fireAndForget has no edge at all: nothing can wait for it, drain it,
+// or stop it.
+func fireAndForget() {
+	go work() // want `goroutine running work has no join/stop edge`
+}
+
+// partial signals on one path only: the early return leaks.
+func partial(wg *sync.WaitGroup, cond bool) {
+	wg.Add(1)
+	go func() { // want `may return at .* without reaching its join/stop edge`
+		if cond {
+			return
+		}
+		wg.Done()
+	}()
+}
+
+// dynamic spawns a function value: the body is invisible, so the
+// discipline is unverifiable without an annotation.
+func dynamic(f func()) {
+	go f() // want `cannot statically see the goroutine body`
+}
+
+// detached opts out explicitly.
+func detached(f func()) {
+	//apcm:detached
+	go f()
+}
+
+// detachedTrailing opts out with a trailing comment.
+func detachedTrailing() {
+	go work() //apcm:detached
+}

@@ -1,0 +1,108 @@
+package lockorder
+
+import "sync"
+
+// engine mirrors the Engine/state-machine lock pair: mu is taken first,
+// smMu only while mu is held.
+type engine struct {
+	//apcm:lockrank=1
+	mu sync.RWMutex
+	//apcm:lockrank=2
+	smMu sync.Mutex
+}
+
+// goodOrder follows the declared rank order: sanctioned, silent.
+func (e *engine) goodOrder() {
+	e.mu.Lock()
+	e.smMu.Lock()
+	e.smMu.Unlock()
+	e.mu.Unlock()
+}
+
+// badOrder inverts it.
+func (e *engine) badOrder() {
+	e.smMu.Lock()
+	e.mu.Lock() // want `acquires engine.mu \(rank 1\) while holding engine.smMu \(rank 2\)`
+	e.mu.Unlock()
+	e.smMu.Unlock()
+}
+
+// sequential acquisition — released before the next — makes no edge.
+func (e *engine) sequential() {
+	e.smMu.Lock()
+	e.smMu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Unranked cycle pair: each of left/right is acquired while the other
+// is held, in different functions — a two-stack deadlock.
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+func cycleLR(l *left, r *right) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.mu.Lock() // want `lock-order cycle: acquires right.mu while holding left.mu`
+	r.mu.Unlock()
+}
+
+func cycleRL(l *left, r *right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock() // want `lock-order cycle: acquires left.mu while holding right.mu`
+	l.mu.Unlock()
+}
+
+// Re-acquisition through a call chain: deliver holds state.mu, and the
+// callee transitively re-enters detach, which takes state.mu again —
+// the broker slow-consumer shutdown shape.
+type state struct {
+	mu    sync.Mutex
+	conns []*wire
+}
+
+type wire struct{ mu sync.Mutex }
+
+func (s *state) detach(w *wire) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (w *wire) push(s *state) bool {
+	s.detach(w)
+	return false
+}
+
+func (s *state) deliver(w *wire) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.push(s) // want `may acquire state.mu while already holding it`
+}
+
+// deliverAsync hands the re-entrant path to another goroutine: the
+// callee's locks are taken on a stack that holds nothing. Silent.
+func (s *state) deliverAsync(w *wire) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go w.push(s)
+}
+
+// kernel is a hot-path function: no locks at all.
+//
+//apcm:hotpath
+func (e *engine) kernel() int {
+	e.mu.RLock() // want `lock acquisition of mu in hot-path function kernel`
+	e.mu.RUnlock()
+	return 0
+}
+
+// staged is the reviewed exception: group-commit staging takes the
+// staging lock on the append path by design.
+//
+//apcm:hotpath
+//apcm:locksafe group-commit staging lock, bounded critical section
+func (e *engine) staged() {
+	e.smMu.Lock()
+	e.smMu.Unlock()
+}

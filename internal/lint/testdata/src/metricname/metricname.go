@@ -27,7 +27,16 @@ func setup(r *Registry) {
 	r.Counter(name, "x") // want `metric name is not a literal`
 
 	r.GaugeFunc(fmt.Sprintf("apcm_worker_items{worker=%q}", "0"), "ok", nil)
-	r.GaugeFunc(fmt.Sprintf("%s_items", pick()), "x", nil) // want `metric base name "%s_items" must be apcm_-prefixed`
+	r.GaugeFunc(fmt.Sprintf("%s_items", pick()), "x", nil) // want `metric base name "%s_items" must be apcm_-prefixed` `metric label value has unbounded cardinality`
+}
+
+// Label cardinality: shard indices are bounded at construction; event
+// or subscription content is bounded by nothing.
+func shardSetup(r *Registry, shards int, topic string) {
+	for i := 0; i < shards; i++ {
+		r.Counter(fmt.Sprintf("apcm_shard_events_total{shard=\"%d\"}", i), "bounded: shard index")
+	}
+	r.Counter(fmt.Sprintf("apcm_topic_events_total{topic=%q}", topic), "x") // want `metric label value has unbounded cardinality \(type string\)`
 }
 
 func pick() string { return "apcm_dynamic" }

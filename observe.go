@@ -172,7 +172,7 @@ func (e *Engine) attachMetrics(reg *metrics.Registry) {
 		lanes := e.pool.Workers() + 1
 		for w := 0; w < lanes; w++ {
 			w := w
-			reg.GaugeFunc(fmt.Sprintf("apcm_pool_worker_items{worker=%q}", fmt.Sprint(w)),
+			reg.GaugeFunc(fmt.Sprintf("apcm_pool_worker_items{worker=\"%d\"}", w),
 				"task items executed per worker lane (last lane = inline callers)",
 				func() float64 {
 					return float64(e.pool.Stats().WorkerItems[w])

@@ -41,6 +41,8 @@ func newFanJob(g *Group) *fanJob {
 
 // matchShard matches the job's event on shard s into the shard's part
 // slice. On probe fan-outs the call is timed to feed the cost EWMA.
+//
+//apcm:hotpath
 func (j *fanJob) matchShard(_, s int) {
 	if j.probe {
 		start := time.Now()
@@ -66,6 +68,8 @@ func (j *fanJob) mergeInto(dst []expr.ID) []expr.ID {
 // snapshotWeights copies the per-shard cost EWMAs into w for
 // RunWeighted. Unprobed shards weigh 1 (RunWeighted's floor), so a
 // fresh group starts evenly sliced.
+//
+//apcm:hotpath
 func (g *Group) snapshotWeights(w []int64) {
 	for s := range w {
 		w[s] = int64(g.costNs(s))

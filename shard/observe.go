@@ -55,20 +55,19 @@ func (g *Group) attachMetrics(reg *metrics.Registry) {
 	})
 	for s := range g.shards {
 		s := s
-		id := fmt.Sprint(s)
-		reg.GaugeFunc(fmt.Sprintf("apcm_shard_subscriptions{shard=%q}", id),
+		reg.GaugeFunc(fmt.Sprintf("apcm_shard_subscriptions{shard=\"%d\"}", s),
 			"live subscriptions on this shard", func() float64 {
 				return float64(g.shards[s].Len())
 			})
-		reg.GaugeFunc(fmt.Sprintf("apcm_shard_mem_bytes{shard=%q}", id),
+		reg.GaugeFunc(fmt.Sprintf("apcm_shard_mem_bytes{shard=\"%d\"}", s),
 			"estimated index heap footprint of this shard", func() float64 {
 				return float64(g.shards[s].Stats().MemBytes)
 			})
-		reg.GaugeFunc(fmt.Sprintf("apcm_shard_cost_ns{shard=%q}", id),
+		reg.GaugeFunc(fmt.Sprintf("apcm_shard_cost_ns{shard=\"%d\"}", s),
 			"per-event match-cost EWMA of this shard from fan-out probes", func() float64 {
 				return g.costNs(s)
 			})
-		reg.CounterFunc(fmt.Sprintf("apcm_shard_events_total{shard=%q}", id),
+		reg.CounterFunc(fmt.Sprintf("apcm_shard_events_total{shard=\"%d\"}", s),
 			"events fanned out to this shard", func() float64 {
 				return float64(m.events[s].n.Load())
 			})

@@ -137,7 +137,7 @@ type Group struct {
 	// count, declared up front, cannot drift while shards are streamed
 	// out — and Close take it exclusively. Holding it across Close also
 	// upholds sched.Pool's contract that Run never races Close.
-	mu     sync.RWMutex
+	mu     sync.RWMutex //apcm:lockrank=1
 	closed bool
 
 	// nextID is the group-wide id allocator; per-shard engine
