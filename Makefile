@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fault fuzz lint lint-json lint-smoke lint-baseline bench-smoke clean
+.PHONY: all build test race fault fault-repl fuzz lint lint-json lint-smoke lint-baseline bench-smoke clean
 
 all: build lint test
 
@@ -27,6 +27,15 @@ race:
 #   APCM_FAULT_SEED=42 make fault
 fault:
 	$(GO) test -race -timeout 10m -count=1 ./broker/ ./internal/faultnet/ ./internal/commitlog/
+
+# The replication crash matrix in isolation: 100 seeded leader/follower
+# schedules (leader killed mid-catch-up, follower crashed mid-ingest by
+# commit-log failpoints, asymmetric partitions manufacturing a stale
+# leader) under the race detector, verified against the prefix oracle
+# and epoch-fencing asserts. Same replay convention:
+#   APCM_FAULT_SEED=42 make fault-repl
+fault-repl:
+	$(GO) test -race -timeout 10m -count=1 -run 'TestReplCrashMatrix|TestRepl|TestAsymmetricPartition|TestFollowerRejects|TestLeaderRetention' ./broker/
 
 # Short smoke runs of every fuzz target: decoder hardening for the wire
 # formats (expression/event frames, trace files, checkpoint files,

@@ -59,15 +59,28 @@ func (s *Server) openLog() error {
 	if cfg.Metrics == nil {
 		cfg.Metrics = s.Metrics
 	}
-	l, err := commitlog.Open(s.LogDir, cfg)
-	if err != nil {
-		return fmt.Errorf("broker: opening commit log: %w", err)
-	}
+	// Offsets open first: the log's retention floor callback reads the
+	// consumer low-water mark (OffsetStore.Min takes only the store's
+	// own lock, so calling it from under the log lock is cycle-free).
 	offs, err := commitlog.OpenOffsets(s.LogDir)
 	if err != nil {
-		l.Close()
 		return fmt.Errorf("broker: opening offset store: %w", err)
 	}
+	if cfg.RetainFloor == nil {
+		cfg.RetainFloor = offs.Min
+	}
+	l, err := commitlog.Open(s.LogDir, cfg)
+	if err != nil {
+		offs.Close()
+		return fmt.Errorf("broker: opening commit log: %w", err)
+	}
+	epoch, err := commitlog.LoadEpoch(s.LogDir)
+	if err != nil {
+		offs.Close()
+		l.Close()
+		return fmt.Errorf("broker: loading replication epoch: %w", err)
+	}
+	s.epoch.Store(epoch)
 	s.log, s.offsets = l, offs
 	return nil
 }
@@ -147,6 +160,18 @@ func (s *Server) deliverDurable(target *conn, cs *consumerState, tail []byte, ns
 		s.logAppendErrs.Add(1)
 		s.Logf("broker: durable delivery for %q lost: %v", cs.name, err)
 		return
+	}
+	if s.ReplSync && s.role.Load() == roleLeader {
+		// delivered ⊆ committed ⊆ replicated: park until the follower
+		// acknowledged this record. With no follower attached the wait
+		// degrades to single-node durability rather than blocking —
+		// counted, so operators can alert on the weakened guarantee.
+		s.replSyncWaits.Add(1)
+		if _, attached := s.log.Replicated(); !attached {
+			s.replSyncDegraded.Add(1)
+		} else if err := s.log.WaitReplicated(off, target.replDead); err != nil {
+			s.Logf("broker: repl-sync wait for %q at offset %d: %v", cs.name, off, err)
+		}
 	}
 	if cs.live && cs.c == target {
 		frame := appendUvarint([]byte{msgDurable}, off)

@@ -45,6 +45,41 @@
 // resume starts after the last acknowledged record. Delivery is
 // at-least-once: a crash between delivery and ack redelivers.
 //
+// Version 3 adds leader→follower replication (requires both sides to
+// run with a commit log; see Server.Follow):
+//
+//	'F' repl-hello   follower→leader  uvarint epoch, uvarint next offset, node id
+//	'f' repl-welcome leader→follower  uvarint epoch, uvarint leader next, uvarint start offset
+//	'G' segment      leader→follower  uvarint flags (1=final), segment bytes chunk
+//	'g' segment-end  leader→follower  uvarint base, uvarint end, uvarint crc32
+//	'b' repl-batch   leader→follower  uvarint flags (1=final), raw batch bytes chunk
+//	'B' repl-ack     follower→leader  uvarint replicated next offset
+//	'J' repl-offsets leader→follower  n×(uvarint name len, name, uvarint next)
+//	'X' fence        either way       uvarint epoch
+//
+// A replication connection is an ordinary client connection until the
+// follower's 'F' handshake: it carries the follower's persisted epoch
+// and the next offset its log needs. The leader answers 'f' with its
+// epoch and the effective start offset (the follower's request clamped
+// forward past retention), then streams history — whole sealed
+// segments as 'G' chunks finalized by a CRC-carrying 'g' when the
+// follower's position aligns with a segment boundary, raw commit-log
+// batches as 'b' chunks otherwise — and parks on the group-commit
+// watermark for live tail streaming. The follower acknowledges ingest
+// progress with 'B' (which drives the leader's replicated watermark,
+// its retention clamp, and -repl-sync delivery gating) and pings with
+// 'H' so the leader's ordinary heartbeat reaper detects a dead
+// follower. 'J' periodically ships consumer offset snapshots so a
+// promoted follower resumes consumers near where the leader left off.
+//
+// Epochs fence stale leaders: both sides persist a monotone epoch, a
+// follower that loses leader liveness promotes by durably bumping its
+// epoch and sending 'X' on the dying connection, and any node that
+// hears an epoch above its own fences itself — it rejects client
+// operations and replication frames until an operator restarts it in a
+// valid role. Old-epoch peers are answered with 'X' carrying the newer
+// epoch.
+//
 // Liveness is client-driven: clients send 'H' pings on an interval and
 // the server answers 'h'. The server reads under a deadline sized to
 // several missed heartbeats and reaps connections that stay silent;
@@ -69,8 +104,9 @@ const MaxFrame = 1 << 20
 // ProtocolVersion is the highest wire-protocol revision this build
 // speaks, carried in the hello handshake. Version 1 introduced the
 // handshake itself and the ping/pong keepalive frames; version 2 adds
-// durable delivery (resume, durable-match and offset-ack frames).
-const ProtocolVersion = 2
+// durable delivery (resume, durable-match and offset-ack frames);
+// version 3 adds commit-log replication with epoch fencing.
+const ProtocolVersion = 3
 
 // MinProtocolVersion is the oldest revision the server still accepts;
 // clients announcing anything in [MinProtocolVersion, ∞) negotiate
@@ -92,6 +128,23 @@ const (
 	msgResumeOK    = 'O'
 	msgDurable     = 'D'
 	msgOffsetAck   = 'K'
+	msgReplHello   = 'F'
+	msgReplWelcome = 'f'
+	msgReplSegment = 'G'
+	msgReplSegEnd  = 'g'
+	msgReplBatch   = 'b'
+	msgReplAck     = 'B'
+	msgReplOffsets = 'J'
+	msgFence       = 'X'
+)
+
+// chunkFinal flags the last chunk of a 'G' segment or 'b' batch
+// transfer; replChunk is the chunk size, comfortably under MaxFrame so
+// transfers of any commit-log batch (whose size the leader's FlushBytes
+// config bounds, not MaxFrame) always fit the wire format.
+const (
+	chunkFinal = 1
+	replChunk  = 256 << 10
 )
 
 // helloFrame is the two-byte hello payload both sides send.

@@ -67,6 +67,36 @@ type Server struct {
 	// when LogDir is set. Zero fields take commitlog defaults; Metrics
 	// is inherited from Server.Metrics when unset. Set before Serve.
 	Log commitlog.Config
+	// NodeID names this broker in the replication handshake and logs.
+	// Set before Serve.
+	NodeID string
+	// Follow, when non-empty, starts this server as a follower of the
+	// leader at that address: it replicates the leader's commit log and
+	// consumer offsets, rejects client operations (connections fail
+	// over to the leader), and promotes itself to leader when the
+	// leader stays silent past ReplTimeout. Requires LogDir. Set
+	// before Serve.
+	Follow string
+	// ReplSync, on the leader, tightens durable delivery to
+	// delivered ⊆ committed ⊆ replicated: a durable frame is pushed
+	// only after the attached follower acknowledged the record. With no
+	// follower attached, delivery degrades to single-node durability
+	// (counted by apcm_broker_repl_sync_degraded_total) rather than
+	// blocking. Set before Serve.
+	ReplSync bool
+	// ReplHeartbeat is the follower's ping cadence toward the leader
+	// and the leader's offset-journal shipping cadence. Defaults to
+	// 250ms. Set before Serve.
+	ReplHeartbeat time.Duration
+	// ReplTimeout is how long a follower tolerates total leader
+	// silence (no frames on the replication connection, dial failures
+	// included) before promoting itself to leader. Defaults to 3s. Set
+	// before Serve.
+	ReplTimeout time.Duration
+	// ReplDial, when non-nil, replaces net.Dial("tcp", Follow) for the
+	// replication connection — the fault-injection hook the partition
+	// schedules use. Set before Serve.
+	ReplDial func(addr string) (net.Conn, error)
 
 	mu        sync.RWMutex //apcm:lockrank=1
 	subs      map[expr.ID]*subscriber // engine id -> owner
@@ -95,6 +125,27 @@ type Server struct {
 	attachedConsumers atomic.Int64
 	metOnce           sync.Once
 	publishLat        *metrics.Histogram // nil without a registry (nil-safe)
+
+	// Replication state. role/epoch are atomics because the frame
+	// dispatcher gates on them per frame; replica (the attached
+	// follower's connection, nil when none) is guarded by mu.
+	role       atomic.Int32
+	epoch      atomic.Uint64
+	promoted   atomic.Bool
+	promotedAt atomic.Int64
+	replica    *conn
+	replStop   chan struct{} // non-nil on followers; closed by Close
+	replDone   chan struct{} // closed when the replicator goroutine exits
+
+	fenced              atomic.Int64
+	promotions          atomic.Int64
+	replBatchesSent     atomic.Int64
+	replSegmentsShipped atomic.Int64
+	replAcks            atomic.Int64
+	replJournalShips    atomic.Int64
+	replIngested        atomic.Int64
+	replSyncWaits       atomic.Int64
+	replSyncDegraded    atomic.Int64
 }
 
 type subscriber struct {
@@ -126,6 +177,9 @@ type conn struct {
 	mu       sync.Mutex //apcm:lockrank=2
 	byClient map[uint64]expr.ID
 	consumer *consumerState
+	// isRepl flips when this connection completes a repl-hello and
+	// becomes the attached follower's replication channel.
+	isRepl bool
 }
 
 // NewServer wraps eng. The server takes no ownership: closing the server
@@ -243,6 +297,41 @@ func (s *Server) attachMetrics() {
 		func() float64 { return float64(s.checkpointErrs.Load()) })
 	reg.GaugeFunc("apcm_broker_consumers", "consumers currently attached for durable delivery",
 		func() float64 { return float64(s.attachedConsumers.Load()) })
+	reg.GaugeFunc("apcm_broker_repl_epoch", "current replication epoch",
+		func() float64 { return float64(s.epoch.Load()) })
+	reg.GaugeFunc("apcm_broker_repl_role", "replication role: 0 leader, 1 follower, 2 fenced",
+		func() float64 { return float64(s.role.Load()) })
+	reg.GaugeFunc("apcm_broker_repl_lag", "records committed on the leader but not yet acknowledged by the attached follower", func() float64 {
+		if s.log == nil {
+			return 0
+		}
+		repl, ok := s.log.Replicated()
+		if !ok {
+			return 0
+		}
+		if next := s.log.NextOffset(); next > repl {
+			return float64(next - repl)
+		}
+		return 0
+	})
+	reg.CounterFunc("apcm_broker_repl_batches_sent_total", "commit-log batches streamed to the follower",
+		func() float64 { return float64(s.replBatchesSent.Load()) })
+	reg.CounterFunc("apcm_broker_repl_segments_shipped_total", "sealed segments bulk-shipped to the follower",
+		func() float64 { return float64(s.replSegmentsShipped.Load()) })
+	reg.CounterFunc("apcm_broker_repl_acks_total", "replication acknowledgements received from the follower",
+		func() float64 { return float64(s.replAcks.Load()) })
+	reg.CounterFunc("apcm_broker_repl_journal_ships_total", "consumer offset-journal snapshots shipped to the follower",
+		func() float64 { return float64(s.replJournalShips.Load()) })
+	reg.CounterFunc("apcm_broker_repl_ingested_total", "segments and batches ingested from the leader",
+		func() float64 { return float64(s.replIngested.Load()) })
+	reg.CounterFunc("apcm_broker_repl_fences_total", "times this node fenced itself on seeing a higher epoch",
+		func() float64 { return float64(s.fenced.Load()) })
+	reg.CounterFunc("apcm_broker_repl_promotions_total", "follower-to-leader promotions",
+		func() float64 { return float64(s.promotions.Load()) })
+	reg.CounterFunc("apcm_broker_repl_sync_waits_total", "durable deliveries gated on follower acknowledgement",
+		func() float64 { return float64(s.replSyncWaits.Load()) })
+	reg.CounterFunc("apcm_broker_repl_sync_degraded_total", "repl-sync deliveries that proceeded without an attached follower",
+		func() float64 { return float64(s.replSyncDegraded.Load()) })
 }
 
 // Serve accepts connections on ln until Close or Shutdown. It returns
@@ -258,6 +347,19 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.metOnce.Do(s.attachMetrics)
 	if err := s.openLog(); err != nil {
 		return err
+	}
+	if s.Follow != "" {
+		if s.log == nil {
+			return errors.New("broker: Follow requires LogDir")
+		}
+		s.mu.Lock()
+		if s.replStop == nil {
+			s.role.Store(roleFollower)
+			s.replStop = make(chan struct{})
+			s.replDone = make(chan struct{})
+			go s.runReplicator()
+		}
+		s.mu.Unlock()
 	}
 	for {
 		nc, err := ln.Accept()
@@ -301,6 +403,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	ln := s.ln
+	replStop, replDone := s.replStop, s.replDone
 	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -308,6 +411,10 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if replStop != nil {
+		close(replStop)
+		<-replDone
 	}
 	for _, c := range conns {
 		c.shutdown()
@@ -465,6 +572,7 @@ func (c *conn) unregister() {
 	if cs != nil {
 		cs.detach(c)
 	}
+	c.s.detachReplica(c)
 	c.s.mu.Lock()
 	for _, id := range ids {
 		delete(c.s.subs, id)
@@ -473,6 +581,11 @@ func (c *conn) unregister() {
 	c.s.mu.Unlock()
 	for _, id := range ids {
 		c.s.eng.Unsubscribe(id)
+	}
+	if c.s.ReplSync && c.s.log != nil {
+		// A dying consumer connection may be parked in WaitReplicated;
+		// wake the log's waiters so its cancellation check runs.
+		c.s.log.Wake()
 	}
 }
 
@@ -509,6 +622,17 @@ func (c *conn) handle(frame []byte) error {
 		return c.handleHello(frame[1:])
 	}
 	switch frame[0] {
+	case msgSubscribe, msgUnsubscribe, msgPublish, msgResume, msgOffsetAck:
+		// Followers and fenced nodes reject client operations by closing
+		// the connection with no nack frame: Session.replay permanently
+		// drops a subscription on a nack, whereas a transport-style
+		// failure makes the session retry — against the next address for
+		// multi-address sessions, which is exactly failover.
+		if r := c.s.role.Load(); r != roleLeader {
+			return fmt.Errorf("%q frame rejected: node is %s", frame[0], roleName(r))
+		}
+	}
+	switch frame[0] {
 	case msgSubscribe:
 		return c.handleSubscribe(frame[1:])
 	case msgUnsubscribe:
@@ -528,6 +652,12 @@ func (c *conn) handle(frame []byte) error {
 			return fmt.Errorf("offset-ack frame on protocol %d connection", c.version)
 		}
 		return c.handleOffsetAck(frame[1:])
+	case msgReplHello:
+		return c.handleReplHello(frame[1:])
+	case msgReplAck:
+		return c.handleReplAck(frame[1:])
+	case msgFence:
+		return c.handleFence(frame[1:])
 	default:
 		return fmt.Errorf("unknown message type %q", frame[0])
 	}

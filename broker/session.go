@@ -60,8 +60,13 @@ var (
 // publish buffer.
 type SessionConfig struct {
 	// Dial, when non-nil, replaces net.Dial("tcp", addr) — the hook for
-	// TLS, proxies or fault injection in tests.
+	// TLS, proxies or fault injection in tests. It always targets the
+	// session's single address; multi-address sessions use DialAddr.
 	Dial func() (net.Conn, error)
+	// DialAddr, when non-nil, replaces net.Dial("tcp", addr) for
+	// multi-address sessions (DialSessionMulti), receiving the address
+	// the session currently targets. Ignored when Dial is set.
+	DialAddr func(addr string) (net.Conn, error)
 	// MinBackoff/MaxBackoff bound the delay between reconnect attempts:
 	// the delay starts at MinBackoff (default 50ms), doubles per failed
 	// attempt up to MaxBackoff (default 5s), and is jittered uniformly
@@ -136,8 +141,13 @@ type sessionSub struct {
 type Session struct {
 	cfg SessionConfig
 
-	addr string
-	rng  *rand.Rand // reconnect-loop goroutine only
+	// addrs is the failover set; addr is the element currently targeted
+	// (addrs[addrIdx % len]). Both are touched only by the goroutine
+	// driving connects (DialSession's caller first, then the supervisor).
+	addrs   []string
+	addrIdx int
+	addr    string
+	rng     *rand.Rand // reconnect-loop goroutine only
 
 	pubq   chan []byte
 	closed chan struct{}
@@ -169,10 +179,30 @@ type Session struct {
 // transitions to SessionReconnecting, retries with backoff, resubscribes
 // everything, and flushes buffered publishes.
 func DialSession(addr string, cfg SessionConfig) (*Session, error) {
+	return dialSession([]string{addr}, cfg)
+}
+
+// DialSessionMulti is DialSession over a failover set: the session
+// targets one address at a time and rotates to the next on every failed
+// connection attempt — including attempts a non-leader broker rejects
+// by closing the connection — so a session pointed at a replicated pair
+// follows whichever node currently leads. With a durable Consumer the
+// handoff is gap-free under -repl-sync: everything the old leader
+// delivered is on the promoted follower's log, and the resume replay
+// redelivers anything unacknowledged (at-least-once, as always).
+func DialSessionMulti(addrs []string, cfg SessionConfig) (*Session, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("broker: DialSessionMulti needs at least one address")
+	}
+	return dialSession(addrs, cfg)
+}
+
+func dialSession(addrs []string, cfg SessionConfig) (*Session, error) {
 	cfg.fillDefaults()
 	s := &Session{
 		cfg:    cfg,
-		addr:   addr,
+		addrs:  addrs,
+		addr:   addrs[0],
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		pubq:   make(chan []byte, cfg.PublishBuffer),
 		closed: make(chan struct{}),
@@ -208,13 +238,32 @@ func DialSession(addr string, cfg SessionConfig) (*Session, error) {
 			}
 		}
 	}
-	cl, err := s.connect()
+	// The initial connection is synchronous and tries every address
+	// once, so a session dialed against a pair whose first node is the
+	// follower still comes up on the leader.
+	var cl *Client
+	var err error
+	for range s.addrs {
+		if cl, err = s.connect(); err == nil {
+			break
+		}
+		s.rotateAddr()
+	}
 	if err != nil {
 		return nil, err
 	}
 	s.install(cl)
 	go s.run(cl)
 	return s, nil
+}
+
+// rotateAddr advances to the next address in the failover set after a
+// failed connection attempt. Single-address sessions are unaffected.
+func (s *Session) rotateAddr() {
+	if len(s.addrs) > 1 {
+		s.addrIdx++
+		s.addr = s.addrs[s.addrIdx%len(s.addrs)]
+	}
 }
 
 // install publishes cl as the current connection and re-replays to
@@ -233,6 +282,9 @@ func (s *Session) install(cl *Client) {
 func (s *Session) dial() (net.Conn, error) {
 	if s.cfg.Dial != nil {
 		return s.cfg.Dial()
+	}
+	if s.cfg.DialAddr != nil {
+		return s.cfg.DialAddr(s.addr)
 	}
 	return net.Dial("tcp", s.addr)
 }
@@ -374,7 +426,11 @@ func (s *Session) reconnect() *Client {
 			s.cfg.Logf("broker session: reconnected to %s (attempt %d)", s.addr, attempt)
 			return cl
 		}
-		s.cfg.Logf("broker session: reconnect attempt %d: %v", attempt, err)
+		s.cfg.Logf("broker session: reconnect attempt %d (%s): %v", attempt, s.addr, err)
+		// Rotate through the failover set: a follower rejects client
+		// operations by closing the connection, which lands here as a
+		// failed attempt and moves the session to the next candidate.
+		s.rotateAddr()
 		if s.cfg.MaxAttempts > 0 && attempt >= s.cfg.MaxAttempts {
 			s.giveUp(fmt.Errorf("%w: gave up after %d attempts, last error: %v", ErrSessionClosed, attempt, err))
 			return nil

@@ -34,6 +34,15 @@
 // crash or reconnect. -segment-bytes, -flush-bytes, -flush-interval,
 // -retention-bytes, -retention-age and -no-fsync tune it.
 //
+// -follow ADDR starts the broker as a replicating follower of the
+// leader at ADDR: it ingests the leader's commit log and consumer
+// offsets verbatim, rejects client operations (sessions fail over to
+// the leader), and promotes itself — durably bumping the replication
+// epoch, which fences the old leader — when the leader stays silent
+// past -repl-timeout. On the leader, -repl-sync gates durable delivery
+// on follower acknowledgement. See broker.DialSessionMulti for the
+// client side of failover.
+//
 // On SIGTERM/SIGINT the broker drains gracefully: with -checkpoint it
 // first persists the subscription set atomically (restored on the next
 // boot), then stops accepting, nacks new work and flushes every client
@@ -95,6 +104,11 @@ func main() {
 		retBytes   = flag.Int64("retention-bytes", 0, "commit-log size retention: sealed segments beyond this are deleted (0 = unlimited)")
 		retAge     = flag.Duration("retention-age", 0, "commit-log age retention: sealed segments older than this are deleted (0 = unlimited)")
 		noFsync    = flag.Bool("no-fsync", false, "skip commit-log fsyncs (faster, loses durability across power failure)")
+		follow     = flag.String("follow", "", "leader address: start as a replicating follower that promotes itself on leader loss (requires -log-dir)")
+		nodeID     = flag.String("node-id", "", "node name used in the replication handshake and logs")
+		replSync   = flag.Bool("repl-sync", false, "gate durable delivery on follower acknowledgement (delivered ⊆ committed ⊆ replicated)")
+		replHB     = flag.Duration("repl-heartbeat", 0, "replication ping and offset-shipping cadence (0 = 250ms default)")
+		replTO     = flag.Duration("repl-timeout", 0, "leader silence tolerated before a follower promotes itself (0 = 3s default)")
 	)
 	flag.Parse()
 
@@ -184,6 +198,17 @@ func main() {
 			NoFsync:       *noFsync,
 		}
 		fmt.Printf("apcm-broker: durable delivery enabled, commit log in %s\n", *logDir)
+	}
+	if *follow != "" && *logDir == "" {
+		fatal("-follow requires -log-dir")
+	}
+	srv.NodeID = *nodeID
+	srv.Follow = *follow
+	srv.ReplSync = *replSync
+	srv.ReplHeartbeat = *replHB
+	srv.ReplTimeout = *replTO
+	if *follow != "" {
+		fmt.Printf("apcm-broker: starting as follower of %s\n", *follow)
 	}
 	start := time.Now()
 	if *shards > 1 {

@@ -90,10 +90,11 @@ func appendBatch(dst []byte, base uint64, records [][]byte) []byte {
 // clean end of input), and ValidBytes marks the truncation point — the
 // end of the last fully valid batch — that recovery rolls back to.
 type Scanner struct {
-	data []byte
-	pos  int    // end of the last valid batch
-	next uint64 // expected base offset of the next batch
-	err  error
+	data  []byte
+	pos   int    // end of the last valid batch
+	start int    // start of the current batch
+	next  uint64 // expected base offset of the next batch
+	err   error
 
 	base  uint64 // base offset of the current batch
 	count uint32
@@ -166,6 +167,7 @@ func (s *Scanner) Next() bool {
 	}
 	s.base = base
 	s.count = count
+	s.start = s.pos
 	s.pos += end
 	s.next = base + uint64(count)
 	return true
@@ -178,6 +180,15 @@ func (s *Scanner) Base() uint64 { return s.base }
 // Records returns the current batch's records; the slices alias the
 // scanned data and are invalidated by the next call to Next.
 func (s *Scanner) Records() [][]byte { return s.recs }
+
+// Count returns the record count of the current batch.
+func (s *Scanner) Count() uint32 { return s.count }
+
+// RawBatch returns the current batch's full on-disk bytes, header
+// included — the unit replication ships verbatim so the follower's
+// batch boundaries (and therefore its resume offsets) always coincide
+// with the leader's. The slice aliases the scanned data.
+func (s *Scanner) RawBatch() []byte { return s.data[s.start:s.pos] }
 
 // Err returns nil after a clean scan to end of input, or an ErrCorrupt-
 // wrapped error describing why scanning stopped early.

@@ -104,6 +104,12 @@ type Config struct {
 	// RetainAge, when > 0, deletes sealed segments whose last write is
 	// older than this.
 	RetainAge time.Duration
+	// RetainFloor, when non-nil, reports the lowest offset an external
+	// reader (a registered durable consumer) still needs, or ok=false
+	// when there is none. Retention never deletes a segment containing
+	// offsets >= the floor. The callback runs with the log's lock held
+	// and must not call back into the Log.
+	RetainFloor func() (floor uint64, ok bool)
 	// Metrics, when non-nil, receives append/flush/fsync latencies and
 	// segment/rotation/retention counters.
 	Metrics *metrics.Registry
@@ -167,6 +173,12 @@ type Log struct {
 	active segment
 	synced int64 // fsync'd bytes of the active segment
 
+	// Replication watermark: offsets below replicated are durable on
+	// the attached follower. Meaningful only while replAttached; see
+	// AttachReplica / SetReplicated in replication.go.
+	replicated   uint64
+	replAttached bool
+
 	err    error // sticky failure
 	closed bool
 
@@ -175,16 +187,19 @@ type Log struct {
 
 	truncations int64 // recovery truncations performed by Open
 
-	mAppendLat *metrics.Histogram
-	mFlushLat  *metrics.Histogram
-	mSyncLat   *metrics.Histogram
-	mAppends   *metrics.Counter
-	mFlushes   *metrics.Counter
-	mFlushedB  *metrics.Counter
-	mRotations *metrics.Counter
-	mRetention *metrics.Counter
-	mTruncs    *metrics.Counter
-	mSegments  *metrics.Gauge
+	mAppendLat  *metrics.Histogram
+	mFlushLat   *metrics.Histogram
+	mSyncLat    *metrics.Histogram
+	mAppends    *metrics.Counter
+	mFlushes    *metrics.Counter
+	mFlushedB   *metrics.Counter
+	mRotations  *metrics.Counter
+	mRetention  *metrics.Counter
+	mRetClamped *metrics.Counter
+	mTruncs     *metrics.Counter
+	mIngests    *metrics.Counter
+	mIngestedB  *metrics.Counter
+	mSegments   *metrics.Gauge
 }
 
 const segSuffix = ".seg"
@@ -239,8 +254,14 @@ func (l *Log) attachMetrics() {
 		"segment rotations")
 	l.mRetention = reg.Counter("apcm_broker_log_retention_deleted_total",
 		"sealed segments deleted by retention")
+	l.mRetClamped = reg.Counter("apcm_broker_log_retention_clamped_total",
+		"retention passes that kept an over-budget segment because a consumer or follower still needs it")
 	l.mTruncs = reg.Counter("apcm_broker_log_recovery_truncations_total",
 		"torn segment tails truncated during recovery")
+	l.mIngests = reg.Counter("apcm_broker_log_ingest_batches_total",
+		"replicated batches and segments ingested from the leader")
+	l.mIngestedB = reg.Counter("apcm_broker_log_ingest_bytes_total",
+		"replicated bytes ingested from the leader")
 	l.mSegments = reg.Gauge("apcm_broker_log_segments",
 		"live segment files (sealed + active)")
 }
@@ -255,6 +276,14 @@ func (l *Log) recover() error {
 	var bases []uint64
 	for _, e := range entries {
 		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, segSuffix+".tmp") {
+			// Orphan from a segment install that crashed before its
+			// rename; the chain it would have joined is intact.
+			if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+				return err
+			}
+			continue
+		}
 		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
@@ -565,10 +594,26 @@ func (l *Log) rotateLocked(base uint64) error {
 
 // applyRetentionLocked deletes the oldest sealed segments that exceed
 // the byte or age budget. The active segment never qualifies, so the
-// log always retains at least the current segment.
+// log always retains at least the current segment. Deletion is clamped
+// to the retention floor — the minimum of the consumer low-water mark
+// (Config.RetainFloor) and the replicated watermark while a follower
+// is attached — so budget pressure can never delete a segment a
+// registered consumer has not acknowledged or a follower has not
+// ingested. The clamp is also what makes sealed-segment shipping safe:
+// a segment being fetched for an attached follower necessarily ends
+// above the replicated watermark and so cannot be removed mid-ship.
 func (l *Log) applyRetentionLocked() {
 	if l.cfg.RetainBytes <= 0 && l.cfg.RetainAge <= 0 {
 		return
+	}
+	floor := ^uint64(0)
+	if l.cfg.RetainFloor != nil {
+		if f, ok := l.cfg.RetainFloor(); ok && f < floor {
+			floor = f
+		}
+	}
+	if l.replAttached && l.replicated < floor {
+		floor = l.replicated
 	}
 	total := l.active.size
 	for _, sg := range l.segs {
@@ -581,6 +626,10 @@ func (l *Log) applyRetentionLocked() {
 		overAge := l.cfg.RetainAge > 0 && now.Sub(oldest.mtime) > l.cfg.RetainAge
 		if !overBytes && !overAge {
 			return
+		}
+		if oldest.end > floor {
+			l.mRetClamped.Inc()
+			return // still needed; retry once the floor advances
 		}
 		if err := os.Remove(oldest.path); err != nil && !os.IsNotExist(err) {
 			return // disk trouble; retry at the next rotation

@@ -1,0 +1,61 @@
+package commitlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// epochFile is the file under a log dir holding the node's replication
+// epoch.
+const epochFile = "epoch"
+
+// LoadEpoch reads the replication epoch persisted in dir, returning 0
+// when none has ever been stored. The epoch is the fencing token of
+// the replication protocol: a node must persist a bumped epoch before
+// acting on it (promoting, or rejecting a peer), so a crash can never
+// roll a node back to an epoch it already fenced.
+func LoadEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("commitlog: corrupt epoch file: %w", err)
+	}
+	return e, nil
+}
+
+// StoreEpoch durably persists epoch in dir (temp + fsync + rename +
+// dir fsync). It must return before the caller acts on the new epoch.
+func StoreEpoch(dir string, epoch uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, epochFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return serr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

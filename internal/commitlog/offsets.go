@@ -51,8 +51,51 @@ func ValidName(name string) bool {
 // Acks are deliberately not fsync'd: losing the tail of a journal only
 // rewinds a consumer to an earlier offset, which redelivery already
 // covers. Sync exists for checkpoints and shutdown.
+// OffsetFailpoint identifies a crash-injection point in the journal
+// compaction rewrite (Set's temp+fsync+rename dance). Tests install
+// OffsetStore.Failpoint to simulate a crash mid-compaction; a non-nil
+// return aborts the compaction with that error, leaving the on-disk
+// state exactly as a real crash at that instant would.
+type OffsetFailpoint int
+
+// Compaction crash-injection points, in order.
+const (
+	// OfpCompactWrite fires before the temp file is written: the old
+	// journal (which already ends with the value being compacted — Set
+	// appends before compacting) is still fully intact.
+	OfpCompactWrite OffsetFailpoint = iota
+	// OfpPreRename fires after the temp file is written and fsync'd but
+	// before the rename: both files exist; recovery must take the
+	// journal and ignore the orphan temp.
+	OfpPreRename
+	// OfpPostRename fires after the rename but before the directory
+	// fsync: the journal is the single compacted value (the rename may
+	// or may not survive a power cut; either state recovers the same
+	// offset).
+	OfpPostRename
+)
+
+// String names the failpoint for logs and test output.
+func (p OffsetFailpoint) String() string {
+	switch p {
+	case OfpCompactWrite:
+		return "compact-write"
+	case OfpPreRename:
+		return "pre-rename"
+	case OfpPostRename:
+		return "post-rename"
+	}
+	return fmt.Sprintf("OffsetFailpoint(%d)", int(p))
+}
+
 type OffsetStore struct {
 	dir string
+
+	// Failpoint, when non-nil, is invoked at each compaction
+	// crash-injection point with the consumer name; a non-nil return
+	// aborts the compaction (test use only). Set it before any Set
+	// call races it.
+	Failpoint func(OffsetFailpoint, string) error
 
 	mu     sync.Mutex
 	files  map[string]*os.File
@@ -79,6 +122,15 @@ func OpenOffsets(dir string) (*OffsetStore, error) {
 		return nil, err
 	}
 	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			// Orphan from a compaction that crashed between writing the
+			// temp file and renaming it; the journal it would have
+			// replaced is intact, so the temp is garbage.
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		name, ok := strings.CutSuffix(e.Name(), ".off")
 		if e.IsDir() || !ok || !ValidName(name) {
 			continue
@@ -171,6 +223,11 @@ func (o *OffsetStore) Set(name string, next uint64) error {
 func (o *OffsetStore) compactLocked(name string, next uint64) error {
 	path := o.path(name)
 	tmp := path + ".tmp"
+	if fp := o.Failpoint; fp != nil {
+		if err := fp(OfpCompactWrite, name); err != nil {
+			return err
+		}
+	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], next)
 	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
@@ -185,12 +242,22 @@ func (o *OffsetStore) compactLocked(name string, next uint64) error {
 		return err
 	}
 	tf.Close()
+	if fp := o.Failpoint; fp != nil {
+		if err := fp(OfpPreRename, name); err != nil {
+			return err
+		}
+	}
 	if old := o.files[name]; old != nil {
 		old.Close()
 	}
 	delete(o.files, name)
 	if err := os.Rename(tmp, path); err != nil {
 		return err
+	}
+	if fp := o.Failpoint; fp != nil {
+		if err := fp(OfpPostRename, name); err != nil {
+			return err
+		}
 	}
 	if err := syncDir(o.dir); err != nil {
 		return err
@@ -202,6 +269,23 @@ func (o *OffsetStore) compactLocked(name string, next uint64) error {
 	o.files[name] = f
 	o.sizes[name] = 8
 	return nil
+}
+
+// Min returns the lowest stored next offset across all consumers — the
+// consumer low-water mark retention must not delete past — and ok=false
+// when no consumer has an offset. It takes only the store's own lock,
+// so it is safe to call from a Log retention callback that runs under
+// the log's lock.
+func (o *OffsetStore) Min() (uint64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	min, ok := uint64(0), false
+	for _, v := range o.vals {
+		if !ok || v < min {
+			min, ok = v, true
+		}
+	}
+	return min, ok
 }
 
 // Names returns the consumers with stored offsets, sorted.

@@ -49,8 +49,9 @@ type Options struct {
 }
 
 // Conn is a net.Conn with fault injection. Wrap builds one; the
-// Blackhole, Heal and Reset methods inject scenario-driven faults at
-// test-chosen moments on top of the static Options.
+// Blackhole, BlackholeIn, BlackholeOut, Heal and Reset methods inject
+// scenario-driven faults at test-chosen moments on top of the static
+// Options.
 type Conn struct {
 	nc   net.Conn
 	opts Options
@@ -61,8 +62,12 @@ type Conn struct {
 	written int64
 	writes  int64
 
-	gateMu sync.Mutex
-	gate   chan struct{} // non-nil while blackholed; closed by Heal
+	gateMu    sync.Mutex
+	rgate     chan struct{} // non-nil while inbound is blackholed; closed by Heal
+	wgate     chan struct{} // non-nil while outbound is blackholed; closed by Heal
+	rbuf      []byte        // bytes drained during an inbound blackhole, replayed after Heal
+	rstop     bool          // Heal is retiring the drainer; it must exit on next wakeup
+	drainDone chan struct{} // drainer exit signal; Heal joins it before returning
 
 	closeO sync.Once
 	closed chan struct{}
@@ -78,24 +83,111 @@ func Wrap(nc net.Conn, opts Options) *Conn {
 	}
 }
 
-// Blackhole makes the link silently stop passing traffic: Reads block
-// (until Heal or Close) and Writes are swallowed as if the packets
-// vanished in flight. The socket itself stays open — exactly the
-// failure heartbeats exist to detect.
+// Blackhole makes the link silently stop passing traffic in both
+// directions: Reads block (until Heal or Close) and Writes are
+// swallowed as if the packets vanished in flight. The socket itself
+// stays open — exactly the failure heartbeats exist to detect.
 func (c *Conn) Blackhole() {
+	c.BlackholeIn()
+	c.BlackholeOut()
+}
+
+// BlackholeIn blackholes only the inbound direction: Reads block until
+// Heal or Close while Writes keep flowing. This is the asymmetric
+// partition that manufactures a stale leader — the peer still hears us
+// (and believes the link healthy) while we hear nothing and declare it
+// dead. Bytes the peer sends during the hole are delayed, not dropped:
+// a drainer keeps consuming them off the transport into a buffer that
+// Read replays after Heal, the late-stale-frame shape an epoch fence
+// must reject. Draining (rather than letting backpressure build) is
+// what makes the partition asymmetric all the way down: the peer's
+// writes keep being acknowledged at the transport level, and a Close
+// during the hole sends an orderly FIN instead of an unread-data RST
+// that would destroy bytes we wrote just before closing.
+func (c *Conn) BlackholeIn() {
 	c.gateMu.Lock()
-	if c.gate == nil {
-		c.gate = make(chan struct{})
+	if c.rgate == nil {
+		c.rgate = make(chan struct{})
+		c.drainDone = make(chan struct{})
+		go c.drainIn(c.rgate, c.drainDone)
 	}
 	c.gateMu.Unlock()
 }
 
-// Heal reopens a blackholed link; blocked Reads resume.
-func (c *Conn) Heal() {
+// drainIn consumes inbound bytes into rbuf while the inbound gate is
+// up. It blocks in Read with no deadline; Heal interrupts it by setting
+// an immediate read deadline, Close by closing the connection. The
+// drainer never touches the deadline itself — Heal owns arming and
+// clearing it, which is what makes the handoff race-free.
+func (c *Conn) drainIn(gate, done chan struct{}) {
+	defer close(done)
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := c.nc.Read(buf)
+		c.gateMu.Lock()
+		if n > 0 {
+			c.rbuf = append(c.rbuf, buf[:n]...)
+		}
+		stop := c.rstop || c.rgate != gate
+		c.gateMu.Unlock()
+		if stop {
+			return
+		}
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // spurious deadline wakeup; recheck
+			}
+			return // transport failure; Reads surface it after Heal
+		}
+	}
+}
+
+// BlackholeOut blackholes only the outbound direction: Writes are
+// swallowed (the sender sees success, the bytes vanish) while Reads
+// keep flowing — the mirror-image one-way partition.
+func (c *Conn) BlackholeOut() {
 	c.gateMu.Lock()
-	if c.gate != nil {
-		close(c.gate)
-		c.gate = nil
+	if c.wgate == nil {
+		c.wgate = make(chan struct{})
+	}
+	c.gateMu.Unlock()
+}
+
+// Heal reopens a blackholed link in both directions; blocked Reads
+// resume, first replaying any bytes the inbound drainer buffered during
+// the hole.
+func (c *Conn) Heal() {
+	// Retire the drainer before opening the read gate: readers stay
+	// parked on the gate while we break the drainer out of its blocking
+	// Read, join it, and retract the deadline — so neither the drainer's
+	// exit nor a waking reader can race Heal for the transport or
+	// observe the momentary past-deadline.
+	c.gateMu.Lock()
+	done := c.drainDone
+	if done != nil {
+		c.rstop = true
+	}
+	c.gateMu.Unlock()
+	if done != nil {
+		c.nc.SetReadDeadline(time.Now())
+		<-done
+		c.nc.SetReadDeadline(time.Time{})
+	}
+	c.gateMu.Lock()
+	c.rstop = false
+	c.drainDone = nil
+	if c.rgate != nil {
+		close(c.rgate)
+		c.rgate = nil
+	}
+	if c.wgate != nil {
+		close(c.wgate)
+		c.wgate = nil
 	}
 	c.gateMu.Unlock()
 }
@@ -106,16 +198,26 @@ func (c *Conn) Reset() {
 	c.Close()
 }
 
-func (c *Conn) blackholed() (gate chan struct{}, yes bool) {
+func (c *Conn) writeGated() bool {
 	c.gateMu.Lock()
 	defer c.gateMu.Unlock()
-	return c.gate, c.gate != nil
+	return c.wgate != nil
 }
 
 func (c *Conn) Read(p []byte) (int, error) {
 	for {
-		gate, yes := c.blackholed()
-		if !yes {
+		c.gateMu.Lock()
+		if c.rgate == nil && len(c.rbuf) > 0 {
+			// Replay bytes drained during a healed inbound blackhole
+			// before touching the transport again.
+			n := copy(p, c.rbuf)
+			c.rbuf = c.rbuf[n:]
+			c.gateMu.Unlock()
+			return n, nil
+		}
+		gate := c.rgate
+		c.gateMu.Unlock()
+		if gate == nil {
 			return c.nc.Read(p)
 		}
 		select {
@@ -127,7 +229,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 }
 
 func (c *Conn) Write(p []byte) (int, error) {
-	if _, yes := c.blackholed(); yes {
+	if c.writeGated() {
 		// Swallowed in flight: the sender sees success, the bytes are
 		// gone. A healed link therefore resumes desynchronized unless
 		// the protocol re-handshakes — which is the point.

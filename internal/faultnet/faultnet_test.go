@@ -176,6 +176,86 @@ func TestBlackholeAndHeal(t *testing.T) {
 	}
 }
 
+// TestBlackholeInIsOneWay: an inbound-only blackhole blocks reads while
+// writes keep flowing — the asymmetric partition that manufactures a
+// stale leader. Bytes sent into the hole are delayed, not dropped: they
+// arrive after Heal.
+func TestBlackholeInIsOneWay(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{Seed: 11})
+	defer c.Close()
+
+	c.BlackholeIn()
+	// Outbound still flows.
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go readAll(t, b, &got, done)
+	if _, err := c.Write([]byte("outbound-ok")); err != nil {
+		t.Fatalf("write through an inbound-only blackhole: %v", err)
+	}
+	// Inbound blocks; the peer's write parks in the transport.
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := c.Read(buf)
+		readDone <- err
+	}()
+	wrote := make(chan struct{})
+	go func() { b.Write([]byte("delayed")); close(wrote) }()
+	select {
+	case err := <-readDone:
+		t.Fatalf("read returned during inbound blackhole: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Heal()
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatalf("post-heal read: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked after heal")
+	}
+	<-wrote
+	c.Close()
+	<-done
+	if got.String() != "outbound-ok" {
+		t.Fatalf("peer received %q, want %q", got.String(), "outbound-ok")
+	}
+}
+
+// TestBlackholeOutIsOneWay: an outbound-only blackhole swallows writes
+// while reads keep flowing.
+func TestBlackholeOutIsOneWay(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{Seed: 12})
+	defer c.Close()
+
+	c.BlackholeOut()
+	if _, err := c.Write([]byte("vanishes")); err != nil {
+		t.Fatalf("outbound-blackholed write errored: %v", err)
+	}
+	// Inbound still flows.
+	go b.Write([]byte("heard"))
+	buf := make([]byte, 5)
+	a.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("inbound read during outbound blackhole: %v", err)
+	}
+	if string(buf) != "heard" {
+		t.Fatalf("got %q", buf)
+	}
+	// The swallowed write never surfaces after Heal either (it is gone,
+	// not delayed — the sender's bytes were dropped at the wrapper).
+	c.Heal()
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, _ := b.Read(make([]byte, 16)); n != 0 {
+		t.Fatalf("peer received %d swallowed bytes after heal", n)
+	}
+}
+
 // TestBlackholedReadUnblocksOnClose: closing the wrapped conn releases
 // a reader parked at the blackhole gate.
 func TestBlackholedReadUnblocksOnClose(t *testing.T) {
